@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/kge"
+	"repro/internal/synth"
+	"repro/internal/train"
+)
+
+func fixture(t *testing.T) (dataDir, modelPath string) {
+	t.Helper()
+	ds, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir = filepath.Join(t.TempDir(), "ds")
+	if err := kg.SaveDataset(ds, dataDir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := kg.LoadDataset("tiny", dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kge.New("transe", kge.Config{
+		NumEntities:  reloaded.Train.Entities.Len(),
+		NumRelations: reloaded.Train.Relations.Len(),
+		Dim:          8,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Run(context.Background(), m, reloaded, train.Config{Epochs: 3, BatchSize: 64, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	modelPath = filepath.Join(t.TempDir(), "m.kge")
+	if err := kge.SaveFile(m, modelPath); err != nil {
+		t.Fatal(err)
+	}
+	return dataDir, modelPath
+}
+
+func TestRunDiscovers(t *testing.T) {
+	dataDir, modelPath := fixture(t)
+	outTSV := filepath.Join(t.TempDir(), "facts.tsv")
+	err := run([]string{"-data", dataDir, "-model", modelPath,
+		"-strategy", "graph_degree", "-top_n", "20", "-max_candidates", "30",
+		"-limit", "3", "-out", outTSV})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fi, err := os.Stat(outTSV); err != nil || fi.Size() == 0 {
+		t.Errorf("facts TSV missing or empty: %v", err)
+	}
+}
+
+func TestRunFilteredAndCached(t *testing.T) {
+	dataDir, modelPath := fixture(t)
+	err := run([]string{"-data", dataDir, "-model", modelPath,
+		"-strategy", "cluster_triangles", "-top_n", "20", "-max_candidates", "30",
+		"-rank_filtered", "-cache_weights", "-limit", "0"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dataDir, modelPath := fixture(t)
+	if err := run([]string{"-data", dataDir}); err == nil {
+		t.Error("accepted missing -model")
+	}
+	if err := run([]string{"-data", dataDir, "-model", modelPath, "-strategy", "bogus"}); err == nil {
+		t.Error("accepted unknown strategy")
+	}
+}

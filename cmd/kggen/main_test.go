@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTinyPreset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := run([]string{"-preset", "tiny", "-out", dir, "-stats"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range []string{"train.txt", "valid.txt", "test.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunCustom(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	err := run([]string{"-entities", "60", "-relations", "4", "-triples", "500", "-out", dir})
+	if err != nil {
+		t.Fatalf("run custom: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-preset", "tiny"}); err == nil {
+		t.Error("accepted missing -out")
+	}
+	if err := run([]string{"-preset", "nope", "-out", t.TempDir()}); err == nil {
+		t.Error("accepted unknown preset")
+	}
+	if err := run([]string{"-entities", "10", "-triples", "2", "-out", t.TempDir()}); err == nil {
+		t.Error("accepted unsatisfiable config")
+	}
+}

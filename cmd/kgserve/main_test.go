@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/kge"
+	"repro/internal/synth"
+	"repro/internal/train"
+)
+
+// testServer builds a server over a tiny trained model.
+func testServer(t *testing.T) *server {
+	t.Helper()
+	ds, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(t.TempDir(), "ds")
+	if err := kg.SaveDataset(ds, dataDir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := kg.LoadDataset("tiny", dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kge.New("distmult", kge.Config{
+		NumEntities:  reloaded.Train.Entities.Len(),
+		NumRelations: reloaded.Train.Relations.Len(),
+		Dim:          8,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Run(context.Background(), m, reloaded, train.Config{Epochs: 3, BatchSize: 64, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(t.TempDir(), "m.kge")
+	if err := kge.SaveFile(m, modelPath); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(dataDir, modelPath)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	return srv
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("invalid JSON response %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, out
+}
+
+func TestHealthAndStats(t *testing.T) {
+	h := testServer(t).routes()
+	rec, body := do(t, h, "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", rec.Code, body)
+	}
+	rec, body = do(t, h, "GET", "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	if body["entities"].(float64) != 80 || body["relations"].(float64) != 6 {
+		t.Errorf("stats payload: %v", body)
+	}
+	if body["calibrated"] != true {
+		t.Error("expected a fitted calibrator with a validation split present")
+	}
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	h := testServer(t).routes()
+	rec, body := do(t, h, "POST", "/score", tripleRequest{Subject: "e1", Relation: "r0", Object: "e2"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("score: %d %v", rec.Code, body)
+	}
+	if _, ok := body["score"]; !ok {
+		t.Error("missing score")
+	}
+	if p, ok := body["probability"].(float64); !ok || p < 0 || p > 1 {
+		t.Errorf("probability = %v", body["probability"])
+	}
+	// Unknown entity → 404.
+	rec, _ = do(t, h, "POST", "/score", tripleRequest{Subject: "ghost", Relation: "r0", Object: "e2"})
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown subject: %d, want 404", rec.Code)
+	}
+	// Malformed JSON → 400.
+	req := httptest.NewRequest("POST", "/score", bytes.NewBufferString("{"))
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: %d, want 400", rec2.Code)
+	}
+}
+
+func TestRankEndpoint(t *testing.T) {
+	h := testServer(t).routes()
+	rec, body := do(t, h, "POST", "/rank", tripleRequest{Subject: "e1", Relation: "r0", Object: "e2"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rank: %d %v", rec.Code, body)
+	}
+	rank := body["rank"].(float64)
+	if rank < 1 || rank > 80 {
+		t.Errorf("rank %v out of [1, 80]", rank)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	h := testServer(t).routes()
+	rec, body := do(t, h, "POST", "/query", queryRequest{Subject: "e1", Relation: "r0", K: 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %v", rec.Code, body)
+	}
+	answers := body["answers"].([]any)
+	if len(answers) != 5 {
+		t.Fatalf("answers = %d, want 5", len(answers))
+	}
+	// Scores must be non-increasing.
+	prev := answers[0].(map[string]any)["score"].(float64)
+	for _, a := range answers[1:] {
+		cur := a.(map[string]any)["score"].(float64)
+		if cur > prev {
+			t.Fatal("answers not sorted by score")
+		}
+		prev = cur
+	}
+	rec, _ = do(t, h, "POST", "/query", queryRequest{Subject: "e1", Relation: "ghost"})
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown relation: %d", rec.Code)
+	}
+}
+
+func TestDiscoverEndpoint(t *testing.T) {
+	h := testServer(t).routes()
+	rec, body := do(t, h, "POST", "/discover", discoverRequest{
+		Strategy: "graph_degree", TopN: 20, MaxCandidates: 30, Limit: 5, Seed: 3,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("discover: %d %v", rec.Code, body)
+	}
+	facts := body["facts"].([]any)
+	if len(facts) == 0 || len(facts) > 5 {
+		t.Fatalf("facts = %d, want 1..5", len(facts))
+	}
+	first := facts[0].(map[string]any)
+	for _, field := range []string{"subject", "relation", "object", "rank"} {
+		if _, ok := first[field]; !ok {
+			t.Errorf("fact missing %s: %v", field, first)
+		}
+	}
+	if body["total"].(float64) < float64(len(facts)) {
+		t.Error("total < returned facts")
+	}
+	// Relation-restricted discovery with a named relation.
+	rec, body = do(t, h, "POST", "/discover", discoverRequest{
+		Strategy: "uniform_random", TopN: 20, MaxCandidates: 20,
+		Relations: []string{"r1"}, Limit: 3, Seed: 4,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("restricted discover: %d %v", rec.Code, body)
+	}
+	for _, f := range body["facts"].([]any) {
+		if rel := f.(map[string]any)["relation"].(string); rel != "r1" {
+			t.Errorf("fact for relation %q, want r1", rel)
+		}
+	}
+	// Unknown strategy → 400; unknown relation → 404.
+	rec, _ = do(t, h, "POST", "/discover", discoverRequest{Strategy: "bogus"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown strategy: %d", rec.Code)
+	}
+	rec, _ = do(t, h, "POST", "/discover", discoverRequest{Relations: []string{"ghost"}})
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown relation: %d", rec.Code)
+	}
+}

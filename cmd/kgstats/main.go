@@ -1,0 +1,103 @@
+// Command kgstats prints structural statistics of a TSV dataset: Table 1
+// style metadata, degree and clustering summaries, and (optionally) the
+// expensive square clustering coefficients.
+//
+//	kgstats -data data/fb10 -clustering -histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/graphstats"
+	"repro/internal/kg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kgstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kgstats", flag.ContinueOnError)
+	var (
+		dataDir    = fs.String("data", "", "dataset directory (required)")
+		clustering = fs.Bool("clustering", false, "compute triangle and clustering statistics")
+		histogram  = fs.Bool("histogram", false, "print the clustering-coefficient histogram (Figure 3 style)")
+		squares    = fs.Bool("squares", false, "compute square clustering coefficients (expensive)")
+		topK       = fs.Int("top", 10, "show this many highest-degree entities")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return fmt.Errorf("-data is required")
+	}
+
+	ds, err := kg.LoadDataset(*dataDir, *dataDir)
+	if err != nil {
+		return err
+	}
+	m := ds.Metadata()
+	fmt.Printf("dataset:    %s\n", *dataDir)
+	fmt.Printf("train:      %d\nvalidation: %d\ntest:       %d\nentities:   %d\nrelations:  %d\n",
+		m.Train, m.Validation, m.Test, m.Entities, m.Relations)
+	fmt.Printf("density:    %.2f triples/entity\n", float64(m.Train)/float64(m.Entities))
+
+	g := ds.Train
+	type ranked struct {
+		e kg.EntityID
+		d int64
+	}
+	all := make([]ranked, g.NumEntities())
+	for e := range all {
+		all[e] = ranked{kg.EntityID(e), g.Degree(kg.EntityID(e))}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d > all[j].d })
+	fmt.Printf("\ntop %d entities by degree:\n", *topK)
+	for i := 0; i < *topK && i < len(all); i++ {
+		fmt.Printf("  %-24s degree %d\n", g.Entities.Name(int32(all[i].e)), all[i].d)
+	}
+
+	if *clustering || *histogram || *squares {
+		u := graphstats.BuildUndirected(g)
+		tri := u.Triangles()
+		coeffs := u.LocalClustering(tri)
+		var triSum int64
+		for _, t := range tri {
+			triSum += t
+		}
+		fmt.Printf("\nundirected edges:               %d\n", u.NumEdges())
+		fmt.Printf("triangles (total):              %d\n", triSum/3)
+		fmt.Printf("average clustering coefficient: %.4f\n", graphstats.Mean(coeffs))
+
+		if *histogram {
+			edges, counts := graphstats.Histogram(coeffs, 20)
+			fmt.Println("\nclustering coefficient histogram:")
+			maxC := 0
+			for _, c := range counts {
+				if c > maxC {
+					maxC = c
+				}
+			}
+			for i, c := range counts {
+				bar := ""
+				if maxC > 0 {
+					for j := 0; j < c*40/maxC; j++ {
+						bar += "#"
+					}
+				}
+				fmt.Printf("  [%.2f,%.2f) %6d %s\n", edges[i], edges[i+1], c, bar)
+			}
+		}
+		if *squares {
+			c4 := u.SquareClustering()
+			fmt.Printf("average square clustering:      %.4f\n", graphstats.Mean(c4))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/synth"
+)
+
+func writeTinyDataset(t *testing.T) string {
+	t.Helper()
+	ds, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := kg.SaveDataset(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunStats(t *testing.T) {
+	dir := writeTinyDataset(t)
+	for _, args := range [][]string{
+		{"-data", dir},
+		{"-data", dir, "-clustering"},
+		{"-data", dir, "-clustering", "-histogram", "-squares", "-top", "3"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("accepted missing -data")
+	}
+	if err := run([]string{"-data", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("accepted missing dataset")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/synth"
+)
+
+func writeTinyDataset(t *testing.T) string {
+	t.Helper()
+	ds, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := kg.SaveDataset(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunTrainsAndSaves(t *testing.T) {
+	dir := writeTinyDataset(t)
+	out := filepath.Join(t.TempDir(), "m.kge")
+	err := run([]string{"-data", dir, "-model", "distmult", "-dim", "8",
+		"-epochs", "3", "-out", out, "-quiet"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Errorf("checkpoint missing or empty: %v", err)
+	}
+}
+
+func TestRunWithEarlyStoppingAndLoss(t *testing.T) {
+	dir := writeTinyDataset(t)
+	out := filepath.Join(t.TempDir(), "m.kge")
+	err := run([]string{"-data", dir, "-model", "transe", "-dim", "8",
+		"-epochs", "4", "-loss", "margin", "-opt", "adagrad",
+		"-patience", "2", "-eval_every", "1", "-out", out, "-quiet"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-model", "transe"}); err == nil {
+		t.Error("accepted missing -data")
+	}
+	dir := writeTinyDataset(t)
+	if err := run([]string{"-data", dir, "-model", "bogus", "-quiet"}); err == nil {
+		t.Error("accepted unknown model")
+	}
+	if err := run([]string{"-data", dir, "-opt", "bogus", "-quiet"}); err == nil {
+		t.Error("accepted unknown optimizer")
+	}
+	if err := run([]string{"-data", dir, "-loss", "bogus", "-quiet"}); err == nil {
+		t.Error("accepted unknown loss")
+	}
+	if err := run([]string{"-data", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("accepted missing dataset directory")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/synth"
+)
+
+func writeTinyDataset(t *testing.T) string {
+	t.Helper()
+	ds, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := kg.SaveDataset(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunGridSearch(t *testing.T) {
+	dir := writeTinyDataset(t)
+	out := filepath.Join(t.TempDir(), "best.kge")
+	err := run([]string{"-data", dir, "-model", "distmult",
+		"-dims", "8", "-lrs", "0.05,0.1", "-epochs", "3", "-out", out, "-quiet"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Errorf("best checkpoint missing: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("accepted missing -data")
+	}
+	dir := writeTinyDataset(t)
+	if err := run([]string{"-data", dir, "-dims", "abc", "-quiet"}); err == nil {
+		t.Error("accepted malformed -dims")
+	}
+	if err := run([]string{"-data", dir, "-lrs", "x", "-quiet"}); err == nil {
+		t.Error("accepted malformed -lrs")
+	}
+	if err := run([]string{"-data", dir, "-model", "bogus", "-quiet"}); err == nil {
+		t.Error("accepted unknown model")
+	}
+}

@@ -1,0 +1,203 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section against the simulated datasets:
+//
+//	repro table1            Table 1   dataset metadata
+//	repro fig2              Figure 2  discovery runtime per strategy/dataset
+//	repro fig3              Figure 3  clustering-coefficient distributions
+//	repro fig4              Figure 4  MRR of discovered facts
+//	repro fig5              Figure 5  per-node triangles vs clustering coeff.
+//	repro fig6              Figure 6  discovery efficiency (facts/hour)
+//	repro fig7..fig10       §4.3      hyperparameter grid projections
+//	repro squares           §4.3      CLUSTERING SQUARES exclusion experiment
+//	repro sweep             Figures 2+4+6 from a single sweep
+//	repro models            §3.2      link-prediction quality of every trained model
+//	repro bias              §4.2.2    popularity-bias audit per model/dataset
+//	repro recovery          §6        hidden-fact recovery protocol per strategy
+//	repro all               everything above
+//
+// Results are printed as ASCII tables/bars and written as CSVs under -out.
+// Trained models are cached under -cache so repeated invocations skip
+// training.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale    = fs.Int("scale", 10, "dataset scale divisor (1 = paper-sized; larger = smaller datasets)")
+		dim      = fs.Int("dim", 32, "embedding dimension")
+		epochs   = fs.Int("epochs", 25, "training epochs per model")
+		topN     = fs.Int("top_n", 500, "discovery quality threshold")
+		topNFrac = fs.Float64("top_n_frac", 0, "override top_n with this fraction of each dataset's entity count (0 = use -top_n)")
+		maxCand  = fs.Int("max_candidates", 500, "discovery candidates per relation")
+		seed     = fs.Int64("seed", 1, "global random seed")
+		outDir   = fs.String("out", "results", "directory for CSV outputs (empty = don't write)")
+		cacheDir = fs.String("cache", "results/models", "trained-model cache directory (empty = no cache)")
+		models   = fs.String("models", "", "comma-separated model subset (default: paper's five)")
+		strats   = fs.String("strategies", "", "comma-separated strategy subset (default: paper's five)")
+		quiet    = fs.Bool("quiet", false, "suppress progress logging")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: repro [flags] {table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|sweep|squares|models|bias|recovery|all}")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one command, got %d", fs.NArg())
+	}
+	command := fs.Arg(0)
+
+	cfg := harness.Config{
+		Scale:         *scale,
+		Dim:           *dim,
+		Epochs:        *epochs,
+		TopN:          *topN,
+		TopNFraction:  *topNFrac,
+		MaxCandidates: *maxCand,
+		Seed:          *seed,
+		CacheDir:      *cacheDir,
+	}
+	if !*quiet {
+		cfg.Log = stderr
+	}
+	if *models != "" {
+		cfg.Models = strings.Split(*models, ",")
+	}
+	if *strats != "" {
+		cfg.Strategies = strings.Split(*strats, ",")
+	}
+	r := harness.NewRunner(cfg)
+	ctx := context.Background()
+
+	needSweep := false
+	needGrid := false
+	switch command {
+	case "fig2", "fig4", "fig6", "sweep", "all":
+		needSweep = true
+	}
+	switch command {
+	case "fig7", "fig8", "fig9", "fig10", "all":
+		needGrid = true
+	}
+
+	var sweep []harness.SweepRecord
+	if needSweep {
+		var err error
+		sweep, err = r.RunSweep(ctx)
+		if err != nil {
+			return err
+		}
+	}
+	var gridTri, gridUni []harness.GridRecord
+	if needGrid {
+		var err error
+		gridTri, err = r.RunGrid(ctx, "cluster_triangles", nil, nil)
+		if err != nil {
+			return err
+		}
+		gridUni, err = r.RunGrid(ctx, "uniform_random", nil, nil)
+		if err != nil {
+			return err
+		}
+	}
+
+	section := func(name string) {
+		fmt.Fprintf(stdout, "\n========== %s ==========\n\n", name)
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			section("Table 1")
+			_, err := r.Table1(stdout, *outDir)
+			return err
+		case "fig2":
+			section("Figure 2")
+			return r.Fig2(stdout, *outDir, sweep)
+		case "fig3":
+			section("Figure 3")
+			_, err := r.Fig3(stdout, *outDir)
+			return err
+		case "fig4":
+			section("Figure 4")
+			return r.Fig4(stdout, *outDir, sweep)
+		case "fig5":
+			section("Figure 5")
+			_, err := r.Fig5(stdout, *outDir)
+			return err
+		case "fig6":
+			section("Figure 6")
+			return r.Fig6(stdout, *outDir, sweep)
+		case "fig7":
+			section("Figure 7")
+			return r.Fig7(stdout, *outDir, gridTri)
+		case "fig8":
+			section("Figure 8")
+			return r.Fig8(stdout, *outDir, gridTri)
+		case "fig9", "fig10":
+			section("Figures 9-10")
+			if err := r.Fig9And10(stdout, *outDir, gridTri); err != nil {
+				return err
+			}
+			return r.Fig9And10(stdout, *outDir, gridUni)
+		case "sweep":
+			section("Sweep (Figures 2, 4, 6)")
+			if err := r.Fig2(stdout, *outDir, sweep); err != nil {
+				return err
+			}
+			if err := r.Fig4(stdout, *outDir, sweep); err != nil {
+				return err
+			}
+			return r.Fig6(stdout, *outDir, sweep)
+		case "squares":
+			section("Squares exclusion")
+			_, err := r.SquaresExclusion(ctx, stdout, *outDir)
+			return err
+		case "models":
+			section("Model quality")
+			_, err := r.ModelQuality(ctx, stdout, *outDir)
+			return err
+		case "bias":
+			section("Popularity-bias audit")
+			_, err := r.BiasAudit(ctx, stdout, *outDir)
+			return err
+		case "recovery":
+			section("Hidden-fact recovery")
+			_, err := r.RecoveryProtocol(ctx, stdout, *outDir)
+			return err
+		default:
+			return fmt.Errorf("unknown command %q", name)
+		}
+	}
+
+	if command == "all" {
+		for _, name := range []string{"table1", "fig3", "fig5", "sweep", "fig7", "fig8", "fig9", "squares", "models", "bias", "recovery"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(command)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// miniArgs shrinks everything so the command tests run in seconds.
+func miniArgs(outDir string, rest ...string) []string {
+	args := []string{
+		"-scale", "400", "-dim", "8", "-epochs", "1",
+		"-top_n", "20", "-max_candidates", "20",
+		"-models", "distmult", "-strategies", "uniform_random",
+		"-out", outDir, "-cache", "", "-quiet",
+	}
+	return append(args, rest...)
+}
+
+func TestRunTable1(t *testing.T) {
+	outDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run(miniArgs(outDir, "table1"), &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fb15k237-sim") {
+		t.Error("table1 output missing dataset")
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "table1.csv")); err != nil {
+		t.Errorf("table1.csv not written: %v", err)
+	}
+}
+
+func TestRunFig3AndFig5(t *testing.T) {
+	outDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run(miniArgs(outDir, "fig3"), &stdout, &stderr); err != nil {
+		t.Fatalf("fig3: %v", err)
+	}
+	if err := run(miniArgs(outDir, "fig5"), &stdout, &stderr); err != nil {
+		t.Fatalf("fig5: %v", err)
+	}
+	for _, f := range []string{"fig3_clustering.csv", "fig5_node_series.csv"} {
+		if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+}
+
+func TestRunSweepCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	outDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run(miniArgs(outDir, "sweep"), &stdout, &stderr); err != nil {
+		t.Fatalf("sweep: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Figure 2", "Figure 4", "Figure 6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+}
+
+func TestRunSquaresCommand(t *testing.T) {
+	outDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run(miniArgs(outDir, "squares"), &stdout, &stderr); err != nil {
+		t.Fatalf("squares: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "cluster_squares") {
+		t.Error("squares output missing strategy")
+	}
+}
+
+func TestRunRejectsBadInvocation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-quiet"}, &stdout, &stderr); err == nil {
+		t.Error("accepted missing command")
+	}
+	if err := run(miniArgs(t.TempDir(), "bogus"), &stdout, &stderr); err == nil {
+		t.Error("accepted unknown command")
+	}
+}

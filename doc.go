@@ -1,0 +1,14 @@
+// Package repro reproduces "Evaluation of Sampling Methods for Discovering
+// Facts from Knowledge Graph Embeddings" (EDBT 2024) as a pure-Go system:
+// knowledge graph storage (internal/kg), synthetic benchmark generation
+// (internal/synth), six KGE models with CPU training (internal/kge,
+// internal/train), link-prediction evaluation (internal/eval), graph
+// analytics (internal/graphstats), the fact discovery algorithm with its
+// six sampling strategies (internal/core), and the experiment harness that
+// regenerates every table and figure of the paper (internal/harness,
+// cmd/repro).
+//
+// The root package holds the benchmark suite (bench_test.go): one
+// testing.B benchmark per paper artifact plus ablation benchmarks for the
+// design choices documented in DESIGN.md.
+package repro

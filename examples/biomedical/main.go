@@ -1,0 +1,194 @@
+// Biomedical fact discovery — the paper's motivating scenario (§1): a
+// scientist has a drug / disease / protein knowledge graph and wants to
+// uncover plausible new relationships without any predefined queries.
+//
+// This example builds a synthetic biomedical KG with real-world-style
+// schema (drugs target proteins, proteins are associated with diseases,
+// drugs treat diseases, diseases present symptoms), hides a fraction of the
+// "treats" facts, trains ComplEx, and checks how many hidden treatments the
+// fact discovery algorithm recovers — an end-to-end measure of discovery
+// usefulness that needs no test queries.
+//
+//	go run ./examples/biomedical
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/kg"
+	"repro/internal/kge"
+	"repro/internal/train"
+)
+
+const (
+	numDrugs    = 40
+	numProteins = 30
+	numDiseases = 25
+	numSymptoms = 20
+)
+
+// buildBiomedicalKG creates the full ground-truth graph plus the subset of
+// "treats" facts we hide from training.
+func buildBiomedicalKG(seed int64) (g *kg.Graph, hidden []kg.Triple) {
+	rng := rand.New(rand.NewSource(seed))
+	g = kg.NewGraph()
+
+	drugs := make([]string, numDrugs)
+	for i := range drugs {
+		drugs[i] = fmt.Sprintf("drug:%02d", i)
+		g.Entities.Intern(drugs[i])
+	}
+	proteins := make([]string, numProteins)
+	for i := range proteins {
+		proteins[i] = fmt.Sprintf("protein:%02d", i)
+		g.Entities.Intern(proteins[i])
+	}
+	diseases := make([]string, numDiseases)
+	for i := range diseases {
+		diseases[i] = fmt.Sprintf("disease:%02d", i)
+		g.Entities.Intern(diseases[i])
+	}
+	symptoms := make([]string, numSymptoms)
+	for i := range symptoms {
+		symptoms[i] = fmt.Sprintf("symptom:%02d", i)
+		g.Entities.Intern(symptoms[i])
+	}
+
+	// Latent ground truth: each protein drives a couple of diseases; a drug
+	// targeting a protein treats the protein's diseases. This gives the
+	// embedding model a learnable compositional pattern.
+	proteinDiseases := make([][]int, numProteins)
+	for p := range proteinDiseases {
+		n := 1 + rng.Intn(2)
+		for k := 0; k < n; k++ {
+			proteinDiseases[p] = append(proteinDiseases[p], rng.Intn(numDiseases))
+		}
+	}
+	drugTargets := make([][]int, numDrugs)
+	for d := range drugTargets {
+		n := 1 + rng.Intn(3)
+		for k := 0; k < n; k++ {
+			drugTargets[d] = append(drugTargets[d], rng.Intn(numProteins))
+		}
+	}
+
+	var treats []kg.Triple
+	for d, targets := range drugTargets {
+		for _, p := range targets {
+			g.AddNamed(drugs[d], "targets", proteins[p])
+			for _, dis := range proteinDiseases[p] {
+				t := kg.Triple{
+					S: kg.EntityID(mustID(g, drugs[d])),
+					R: kg.RelationID(g.Relations.Intern("treats")),
+					O: kg.EntityID(mustID(g, diseases[dis])),
+				}
+				if g.Add(t) {
+					treats = append(treats, t)
+				}
+			}
+		}
+	}
+	for p, diss := range proteinDiseases {
+		for _, dis := range diss {
+			g.AddNamed(proteins[p], "associated_with", diseases[dis])
+		}
+	}
+	for dis := range diseases {
+		n := 1 + rng.Intn(3)
+		for k := 0; k < n; k++ {
+			g.AddNamed(diseases[dis], "presents", symptoms[rng.Intn(numSymptoms)])
+		}
+	}
+
+	// Hide 30% of the treats facts: these are the discoveries we hope the
+	// pipeline recovers.
+	rng.Shuffle(len(treats), func(i, j int) { treats[i], treats[j] = treats[j], treats[i] })
+	nHide := len(treats) * 30 / 100
+	hidden = treats[:nHide]
+	train := kg.NewGraphWithDicts(g.Entities, g.Relations)
+	hiddenSet := make(map[kg.Triple]struct{}, nHide)
+	for _, t := range hidden {
+		hiddenSet[t] = struct{}{}
+	}
+	for _, t := range g.Triples() {
+		if _, hide := hiddenSet[t]; !hide {
+			train.Add(t)
+		}
+	}
+	return train, hidden
+}
+
+func mustID(g *kg.Graph, name string) int32 {
+	id, ok := g.Entities.Lookup(name)
+	if !ok {
+		panic("unknown entity " + name)
+	}
+	return id
+}
+
+func main() {
+	log.SetFlags(0)
+	graph, hidden := buildBiomedicalKG(11)
+	fmt.Printf("biomedical KG: %d entities, %d relations, %d facts (%d treatments hidden)\n",
+		graph.NumEntities(), graph.NumRelations(), graph.Len(), len(hidden))
+
+	model, err := kge.New("complex", kge.Config{
+		NumEntities:  graph.Entities.Len(),
+		NumRelations: graph.Relations.Len(),
+		Dim:          48,
+		Seed:         3,
+	})
+	if err != nil {
+		log.Fatalf("model: %v", err)
+	}
+	ds := &kg.Dataset{Name: "biomed", Train: graph,
+		Valid: kg.NewGraphWithDicts(graph.Entities, graph.Relations),
+		Test:  kg.NewGraphWithDicts(graph.Entities, graph.Relations)}
+	if _, err := train.Run(context.Background(), model, ds, train.Config{
+		Epochs:     80,
+		BatchSize:  128,
+		NegSamples: 8,
+		Seed:       5,
+	}); err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	// Discover facts only for the "treats" relation — the scientist's
+	// actual question — using the popularity-aware GRAPH DEGREE strategy.
+	treatsID, _ := graph.Relations.Lookup("treats")
+	res, err := core.DiscoverFacts(context.Background(), model, graph, core.NewGraphDegree(), core.Options{
+		TopN:          30,
+		MaxCandidates: 400,
+		Relations:     []kg.RelationID{kg.RelationID(treatsID)},
+		Seed:          17,
+	})
+	if err != nil {
+		log.Fatalf("discover: %v", err)
+	}
+
+	hiddenSet := make(map[kg.Triple]struct{}, len(hidden))
+	for _, t := range hidden {
+		hiddenSet[t] = struct{}{}
+	}
+	recovered := 0
+	fmt.Printf("\ndiscovered %d candidate treatment facts; checking against hidden ground truth:\n", len(res.Facts))
+	for i, f := range res.Facts {
+		_, isHidden := hiddenSet[f.Triple]
+		if isHidden {
+			recovered++
+		}
+		if i < 15 {
+			marker := " "
+			if isHidden {
+				marker = "✓ (hidden ground truth)"
+			}
+			fmt.Printf("  rank %3d  %-40s %s\n", f.Rank, graph.FormatTriple(f.Triple), marker)
+		}
+	}
+	fmt.Printf("\nrecovered %d of %d hidden treatments (%.0f%%) without any input queries\n",
+		recovered, len(hidden), 100*float64(recovered)/float64(len(hidden)))
+}

@@ -1,0 +1,121 @@
+// Exhaustive vs sampling — the paper's central scale argument (§1) made
+// runnable: exhaustive candidate generation over the complement of the KG
+// (the CHAI-style baseline, reference [6]) is complete but explodes with
+// |E|²·|R|, while sampling-based discovery inspects a tiny, well-chosen
+// slice of the complement.
+//
+// On a small graph both are feasible, so this example measures: candidates
+// scored, wall time, facts found, and what fraction of the exhaustive facts
+// the sampler recovered — and then shows how CHAI-style pruning rules
+// shrink the exhaustive candidate set.
+//
+//	go run ./examples/exhaustive
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kg"
+	"repro/internal/kge"
+	"repro/internal/synth"
+	"repro/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	ds, err := synth.Generate(synth.Config{
+		Name:         "exhaustive-demo",
+		NumEntities:  250,
+		NumRelations: 6,
+		NumTriples:   2500,
+		NumTypes:     5,
+		EntityZipf:   1.0,
+		RelationZipf: 0.8,
+		ClosureProb:  0.2,
+		NoiseProb:    0.05,
+		ValidFrac:    0.05,
+		TestFrac:     0.05,
+		Seed:         51,
+	})
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	g := ds.Train
+	fmt.Printf("graph: %d entities, %d relations, %d facts\n", g.NumEntities(), g.NumRelations(), g.Len())
+	fmt.Printf("complement size |E|^2*|R| - |G| = %d candidate triples\n\n",
+		int64(g.NumEntities())*int64(g.NumEntities())*int64(g.NumRelations())-int64(g.Len()))
+
+	model, err := kge.New("transe", kge.Config{
+		NumEntities:  g.Entities.Len(),
+		NumRelations: g.Relations.Len(),
+		Dim:          32,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatalf("model: %v", err)
+	}
+	if _, err := train.Run(context.Background(), model, ds, train.Config{
+		Epochs: 30, BatchSize: 128, Seed: 2,
+	}); err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	const topN = 30
+	ctx := context.Background()
+
+	// 1. The naive exhaustive baseline: every complement triple is scored.
+	exStart := time.Now()
+	exhaustive, exStats, err := core.ExhaustiveDiscover(ctx, model, g, core.ExhaustiveOptions{TopN: topN})
+	if err != nil {
+		log.Fatalf("exhaustive: %v", err)
+	}
+	fmt.Printf("exhaustive (no rules):   %8d candidates scored, %6d facts, %8s\n",
+		exStats.Generated, len(exhaustive.Facts), time.Since(exStart).Round(time.Millisecond))
+
+	// 2. Exhaustive with CHAI-style pruning rules.
+	rStart := time.Now()
+	ruled, ruledStats, err := core.ExhaustiveDiscover(ctx, model, g, core.ExhaustiveOptions{
+		TopN:  topN,
+		Rules: core.DefaultRules(g),
+	})
+	if err != nil {
+		log.Fatalf("exhaustive+rules: %v", err)
+	}
+	fmt.Printf("exhaustive + rules:      %8d candidates scored, %6d facts, %8s  (%d pruned)\n",
+		ruledStats.Generated, len(ruled.Facts), time.Since(rStart).Round(time.Millisecond), ruledStats.Pruned)
+
+	// 3. Sampling-based discovery (the paper's approach).
+	sStart := time.Now()
+	sampled, err := core.DiscoverFacts(ctx, model, g, core.NewEntityFrequency(), core.Options{
+		TopN:          topN,
+		MaxCandidates: 500,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatalf("sampling: %v", err)
+	}
+	fmt.Printf("sampling (ent. freq.):   %8d candidates scored, %6d facts, %8s\n\n",
+		sampled.Stats.Generated, len(sampled.Facts), time.Since(sStart).Round(time.Millisecond))
+
+	// How much of the complete answer did sampling recover, scoring what
+	// fraction of the candidates?
+	inExhaustive := make(map[kg.Triple]struct{}, len(exhaustive.Facts))
+	for _, f := range exhaustive.Facts {
+		inExhaustive[f.Triple] = struct{}{}
+	}
+	recovered := 0
+	for _, f := range sampled.Facts {
+		if _, ok := inExhaustive[f.Triple]; ok {
+			recovered++
+		}
+	}
+	candRatio := float64(sampled.Stats.Generated) / float64(exStats.Generated)
+	fmt.Printf("sampling scored %.2f%% of the exhaustive candidates and recovered %d/%d (%.1f%%) of its facts\n",
+		100*candRatio, recovered, len(exhaustive.Facts), 100*float64(recovered)/float64(len(exhaustive.Facts)))
+	fmt.Println("\nAt YAGO3-10 scale the complement has 5.3x10^11 candidates — the exhaustive")
+	fmt.Println("column is infeasible there, which is the paper's case for sampling.")
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/kg"
+	"repro/internal/kge"
+	"repro/internal/sample"
+)
+
+// Options parameterizes DiscoverFacts (Algorithm 1's inputs).
+type Options struct {
+	// TopN is the maximum rank (against object-side corruptions) a
+	// candidate may have to be returned as a fact. Zero means 500, the
+	// value the paper settles on in §4.3.
+	TopN int
+	// MaxCandidates is the maximum number of fact candidates generated per
+	// relation. Zero means 500 (§4.3).
+	MaxCandidates int
+	// MaxIterations bounds the generation loop per relation. Zero means 5,
+	// the constant from Algorithm 1.
+	MaxIterations int
+	// Relations restricts discovery to these relations; nil means every
+	// relation present in the graph (Algorithm 1 line 3).
+	Relations []kg.RelationID
+	// Filter is an additional graph of "seen" triples to exclude besides
+	// the training graph itself (e.g. validation and test splits).
+	Filter *kg.Graph
+	// RankFiltered selects the filtered ranking protocol when computing
+	// candidate ranks (existing triples are skipped as corruptions).
+	RankFiltered bool
+	// Seed drives candidate sampling.
+	Seed int64
+	// Workers bounds ranking parallelism; zero means GOMAXPROCS.
+	Workers int
+	// CacheWeights memoizes graph-level strategy statistics across
+	// relations, departing from Algorithm 1's per-relation recomputation.
+	// Off by default (faithful mode); see the weight-caching ablation.
+	CacheWeights bool
+	// Calibrator maps raw model scores to probabilities (e.g. a fitted
+	// eval.PlattCalibrator's Prob method). Together with MinProbability it
+	// implements Definition 2.1's original formulation — keep facts with
+	// P(t) > b — on top of the rank filter. Both nil/0 by default, which is
+	// the paper's evaluated rank-only behaviour.
+	Calibrator     func(score float32) float64
+	MinProbability float64
+}
+
+func (o *Options) setDefaults() {
+	if o.TopN == 0 {
+		o.TopN = 500
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 500
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 5
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Fact is one discovered fact with its rank against corruptions.
+type Fact struct {
+	Triple kg.Triple
+	Rank   int
+}
+
+// Stats instruments a discovery run. The paper's three evaluation
+// dimensions are derived from it: runtime (Figure 2), MRR over fact ranks
+// (Figure 4), and efficiency = facts per hour (Figure 6).
+type Stats struct {
+	// WeightTime is the time spent computing strategy weights (including
+	// Prepare's graph statistics).
+	WeightTime time.Duration
+	// GenerateTime is the time spent sampling and building mesh grids.
+	GenerateTime time.Duration
+	// RankTime is the time spent ranking candidates against corruptions.
+	RankTime time.Duration
+	// Total is the end-to-end wall time of DiscoverFacts.
+	Total time.Duration
+	// Generated counts candidate triples ranked (after dedup/seen filter).
+	Generated int
+	// Relations counts relations iterated.
+	Relations int
+	// Iterations counts generation-loop iterations across all relations.
+	Iterations int
+}
+
+// FactsPerHour returns the discovery efficiency measure from §3.3:
+// discovered facts divided by total runtime, in facts per hour.
+func (s Stats) FactsPerHour(numFacts int) float64 {
+	if s.Total <= 0 {
+		return 0
+	}
+	return float64(numFacts) / s.Total.Hours()
+}
+
+// Result is the output of DiscoverFacts: the facts, their ranks (parallel
+// to Facts, as in Algorithm 1's two outputs), and run statistics.
+type Result struct {
+	Facts []Fact
+	Stats Stats
+}
+
+// Ranks returns the ranks of all discovered facts, the input to the MRR
+// quality metric.
+func (r *Result) Ranks() []int {
+	ranks := make([]int, len(r.Facts))
+	for i, f := range r.Facts {
+		ranks[i] = f.Rank
+	}
+	return ranks
+}
+
+// MRR returns the mean reciprocal rank of the discovered facts (Equation 7).
+func (r *Result) MRR() float64 { return eval.MRROfRanks(r.Ranks()) }
+
+// DiscoverFacts is Algorithm 1. For each relation r in g it computes
+// strategy weights for subject and object candidates (line 7), repeatedly
+// samples ⌈√max_candidates⌉+10 entities per side and crosses them into a
+// mesh grid of candidate triples (lines 8–13, at most MaxIterations
+// iterations), filters out triples already in g (line 12), ranks the
+// remaining candidates against their object-side corruptions with the model
+// (line 14), and returns those ranked within TopN (line 15).
+//
+// The model must have been trained on g; the ranks returned follow the
+// standard evaluation protocol (see internal/eval).
+func DiscoverFacts(ctx context.Context, model kge.Model, g *kg.Graph, strategy Strategy, opts Options) (*Result, error) {
+	opts.setDefaults()
+	if model.NumEntities() < g.NumEntities() {
+		return nil, fmt.Errorf("core: model covers %d entities but graph has %d", model.NumEntities(), g.NumEntities())
+	}
+	start := time.Now()
+	res := &Result{}
+
+	strategy.Bind(g)
+	if wc, ok := strategy.(WeightCacher); ok {
+		wc.SetCacheWeights(opts.CacheWeights)
+	}
+
+	relations := opts.Relations
+	if relations == nil {
+		relations = g.RelationIDs()
+	}
+	// Line 4: the mesh grid of k subjects × k objects reaches
+	// max_candidates when k ≈ √max_candidates; +10 covers the candidates
+	// lost to dedup and the seen-filter.
+	sampleSize := int(math.Sqrt(float64(opts.MaxCandidates))) + 10
+
+	var ranker interface{ RankObject(kg.Triple) int }
+	if opts.RankFiltered {
+		filter := g
+		if opts.Filter != nil {
+			filter = kg.Merge(g, opts.Filter)
+		}
+		ranker = eval.NewRanker(model, filter)
+	} else {
+		ranker = eval.NewRanker(model, nil)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	for _, r := range relations {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.Stats.Relations++
+
+		wStart := time.Now()
+		subs, sw, objs, ow := strategy.Weights(r)
+		res.Stats.WeightTime += time.Since(wStart)
+		if len(subs) == 0 || len(objs) == 0 {
+			continue
+		}
+
+		gStart := time.Now()
+		candidates, iters := generateCandidates(g, opts, r, subs, sw, objs, ow, sampleSize, rng)
+		res.Stats.GenerateTime += time.Since(gStart)
+		res.Stats.Iterations += iters
+		res.Stats.Generated += len(candidates)
+		if len(candidates) == 0 {
+			continue
+		}
+
+		rStart := time.Now()
+		ranks := rankAll(ctx, ranker, candidates, opts.Workers)
+		res.Stats.RankTime += time.Since(rStart)
+
+		// Line 15: keep candidates within the quality threshold — and, when
+		// a calibrator is configured, within Definition 2.1's probability
+		// threshold P(t) > b as well.
+		for i, t := range candidates {
+			if ranks[i] > opts.TopN {
+				continue
+			}
+			if opts.Calibrator != nil && opts.MinProbability > 0 {
+				if opts.Calibrator(model.Score(t)) <= opts.MinProbability {
+					continue
+				}
+			}
+			res.Facts = append(res.Facts, Fact{Triple: t, Rank: ranks[i]})
+		}
+	}
+
+	sortFactsByRank(res.Facts)
+	res.Stats.Total = time.Since(start)
+	return res, nil
+}
+
+// sortFactsByRank orders facts best-rank-first, breaking ties by triple for
+// deterministic output.
+func sortFactsByRank(facts []Fact) {
+	sort.Slice(facts, func(i, j int) bool {
+		if facts[i].Rank != facts[j].Rank {
+			return facts[i].Rank < facts[j].Rank
+		}
+		a, b := facts[i].Triple, facts[j].Triple
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		return a.O < b.O
+	})
+}
+
+// generateCandidates runs the generation loop (Algorithm 1 lines 8–13) for
+// one relation and returns the deduplicated unseen candidates plus the
+// number of iterations used.
+func generateCandidates(g *kg.Graph, opts Options, r kg.RelationID,
+	subs []kg.EntityID, sw []float64, objs []kg.EntityID, ow []float64,
+	sampleSize int, rng *rand.Rand) ([]kg.Triple, int) {
+
+	subSampler, err := sample.NewAlias(sw)
+	if err != nil {
+		return nil, 0
+	}
+	objSampler, err := sample.NewAlias(ow)
+	if err != nil {
+		return nil, 0
+	}
+
+	seen := make(map[kg.Triple]struct{}, opts.MaxCandidates)
+	var candidates []kg.Triple
+	iters := 0
+	for len(candidates) < opts.MaxCandidates && iters < opts.MaxIterations {
+		iters++
+		sIdx := sample.DistinctDraws(subSampler, rng, sampleSize, 0)
+		oIdx := sample.DistinctDraws(objSampler, rng, sampleSize, 0)
+		// Line 11: mesh grid of sampled subjects × objects.
+		for _, si := range sIdx {
+			s := subs[si]
+			for _, oi := range oIdx {
+				o := objs[oi]
+				t := kg.Triple{S: s, R: r, O: o}
+				if _, dup := seen[t]; dup {
+					continue
+				}
+				seen[t] = struct{}{}
+				// Line 12: filter out triples already in the KG (and any
+				// extra seen split).
+				if g.Contains(t) || (opts.Filter != nil && opts.Filter.Contains(t)) {
+					continue
+				}
+				candidates = append(candidates, t)
+				if len(candidates) >= opts.MaxCandidates {
+					return candidates, iters
+				}
+			}
+		}
+	}
+	return candidates, iters
+}
+
+// rankAll ranks candidates in parallel, preserving order.
+func rankAll(ctx context.Context, ranker interface{ RankObject(kg.Triple) int }, candidates []kg.Triple, workers int) []int {
+	ranks := make([]int, len(candidates))
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	per := (len(candidates) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				ranks[i] = ranker.RankObject(candidates[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ranks
+}

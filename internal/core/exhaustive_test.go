@@ -1,0 +1,271 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+func ruleTestGraph(t *testing.T) *kg.Graph {
+	t.Helper()
+	g := kg.NewGraph()
+	for _, n := range []string{"alice", "bob", "carol", "paris", "rome"} {
+		g.Entities.Intern(n)
+	}
+	g.Relations.Intern("knows")    // person -> person, non-functional
+	g.Relations.Intern("lives_in") // person -> city, functional
+	add := func(s, r, o int) {
+		g.Add(kg.Triple{S: kg.EntityID(s), R: kg.RelationID(r), O: kg.EntityID(o)})
+	}
+	add(0, 0, 1) // alice knows bob
+	add(1, 0, 2) // bob knows carol
+	add(0, 1, 3) // alice lives_in paris
+	add(1, 1, 4) // bob lives_in rome
+	return g
+}
+
+func TestDomainRangeRule(t *testing.T) {
+	g := ruleTestGraph(t)
+	rule := NewDomainRangeRule(g)
+	// (carol, lives_in, paris): carol never observed as lives_in subject.
+	if rule.Admit(kg.Triple{S: 2, R: 1, O: 3}) {
+		t.Error("admitted subject outside observed domain")
+	}
+	// (alice, lives_in, rome): both sides observed for lives_in.
+	if !rule.Admit(kg.Triple{S: 0, R: 1, O: 4}) {
+		t.Error("rejected a domain/range-consistent candidate")
+	}
+	// (alice, knows, paris): paris never an object of knows.
+	if rule.Admit(kg.Triple{S: 0, R: 0, O: 3}) {
+		t.Error("admitted object outside observed range")
+	}
+}
+
+func TestNoSelfLoopRule(t *testing.T) {
+	rule := NoSelfLoopRule{}
+	if rule.Admit(kg.Triple{S: 1, R: 0, O: 1}) {
+		t.Error("admitted a self-loop")
+	}
+	if !rule.Admit(kg.Triple{S: 1, R: 0, O: 2}) {
+		t.Error("rejected a non-loop")
+	}
+}
+
+func TestFunctionalRelationRule(t *testing.T) {
+	g := ruleTestGraph(t)
+	rule := NewFunctionalRelationRule(g, 1.0)
+	// lives_in is functional (1 object per subject): a second city for
+	// alice contradicts it.
+	if rule.Admit(kg.Triple{S: 0, R: 1, O: 4}) {
+		t.Error("admitted a second object for a functional relation")
+	}
+	// carol has no lives_in fact yet: a first object is fine.
+	if !rule.Admit(kg.Triple{S: 2, R: 1, O: 3}) {
+		t.Error("rejected a first object for a functional relation")
+	}
+	// knows also has avg 1.0 object per subject in this graph, so strict
+	// tolerance treats it as functional too.
+	if rule.Admit(kg.Triple{S: 0, R: 0, O: 2}) {
+		t.Error("functional inference should also cover 'knows' with avg 1.0")
+	}
+	// Once a subject has multiple objects, the relation stops counting as
+	// functional under strict tolerance and candidates pass again.
+	g2 := ruleTestGraph(t)
+	g2.Add(kg.Triple{S: 0, R: 0, O: 2}) // alice knows carol: avg objects 1.5
+	relaxed := NewFunctionalRelationRule(g2, 1.0)
+	if !relaxed.Admit(kg.Triple{S: 1, R: 0, O: 0}) {
+		t.Error("non-functional relation should admit new objects")
+	}
+}
+
+func TestExhaustiveDiscoverCompleteOnTinyGraph(t *testing.T) {
+	ds, m := tinyTrained(t)
+	rel := ds.Train.RelationIDs()[0]
+	res, stats, err := ExhaustiveDiscover(context.Background(), m, ds.Train, ExhaustiveOptions{
+		TopN:      20,
+		Relations: []kg.RelationID{rel},
+	})
+	if err != nil {
+		t.Fatalf("ExhaustiveDiscover: %v", err)
+	}
+	n := int64(ds.Train.NumEntities())
+	wantComplement := n*n - int64(len(ds.Train.RelationTriples(rel)))
+	if stats.ComplementSize != wantComplement {
+		t.Errorf("ComplementSize = %d, want %d", stats.ComplementSize, wantComplement)
+	}
+	if stats.Generated != int(wantComplement) {
+		t.Errorf("Generated = %d, want full complement %d with no rules", stats.Generated, wantComplement)
+	}
+	for _, f := range res.Facts {
+		if ds.Train.Contains(f.Triple) {
+			t.Fatalf("exhaustive discovery returned a known triple %v", f.Triple)
+		}
+		if f.Rank > 20 {
+			t.Fatalf("rank %d above top_n", f.Rank)
+		}
+	}
+}
+
+// Exhaustive discovery is the completeness reference: every fact the
+// sampling algorithm finds for a relation must also be found exhaustively
+// (same model, same top_n, raw protocol).
+func TestSamplingIsSubsetOfExhaustive(t *testing.T) {
+	ds, m := tinyTrained(t)
+	rel := ds.Train.RelationIDs()[1]
+	sampled, err := DiscoverFacts(context.Background(), m, ds.Train, NewEntityFrequency(), Options{
+		TopN: 15, MaxCandidates: 60, Seed: 3, Relations: []kg.RelationID{rel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive, _, err := ExhaustiveDiscover(context.Background(), m, ds.Train, ExhaustiveOptions{
+		TopN: 15, Relations: []kg.RelationID{rel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inExhaustive := make(map[kg.Triple]struct{}, len(exhaustive.Facts))
+	for _, f := range exhaustive.Facts {
+		inExhaustive[f.Triple] = struct{}{}
+	}
+	for _, f := range sampled.Facts {
+		if _, ok := inExhaustive[f.Triple]; !ok {
+			t.Fatalf("sampled fact %v (rank %d) missing from exhaustive result", f.Triple, f.Rank)
+		}
+	}
+	if len(sampled.Facts) > len(exhaustive.Facts) {
+		t.Error("sampling found more facts than the exhaustive sweep")
+	}
+}
+
+func TestExhaustiveDiscoverRulesPrune(t *testing.T) {
+	ds, m := tinyTrained(t)
+	rel := ds.Train.RelationIDs()[0]
+	without, statsW, err := ExhaustiveDiscover(context.Background(), m, ds.Train, ExhaustiveOptions{
+		TopN: 20, Relations: []kg.RelationID{rel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRules, statsR, err := ExhaustiveDiscover(context.Background(), m, ds.Train, ExhaustiveOptions{
+		TopN:      20,
+		Relations: []kg.RelationID{rel},
+		Rules:     DefaultRules(ds.Train),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsR.Pruned == 0 {
+		t.Error("rules pruned nothing")
+	}
+	if statsR.Generated >= statsW.Generated {
+		t.Errorf("rules did not reduce candidates: %d vs %d", statsR.Generated, statsW.Generated)
+	}
+	// Rule-filtered output is a subset of the unfiltered output.
+	inFull := make(map[kg.Triple]struct{}, len(without.Facts))
+	for _, f := range without.Facts {
+		inFull[f.Triple] = struct{}{}
+	}
+	for _, f := range withRules.Facts {
+		if _, ok := inFull[f.Triple]; !ok {
+			t.Fatalf("rule-filtered fact %v not in unfiltered result", f.Triple)
+		}
+	}
+}
+
+func TestExhaustiveDiscoverBudgetGuard(t *testing.T) {
+	ds, m := tinyTrained(t)
+	_, _, err := ExhaustiveDiscover(context.Background(), m, ds.Train, ExhaustiveOptions{
+		TopN:          10,
+		MaxCandidates: 10, // far below the complement size
+	})
+	if err == nil {
+		t.Fatal("expected the candidate-budget guard to fire")
+	}
+}
+
+func TestExhaustiveDiscoverContextCancel(t *testing.T) {
+	ds, m := tinyTrained(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ExhaustiveDiscover(ctx, m, ds.Train, ExhaustiveOptions{TopN: 10}); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestExtendedStrategyByName(t *testing.T) {
+	for _, name := range AllStrategyNames() {
+		s, err := ExtendedStrategyByName(name)
+		if err != nil {
+			t.Fatalf("ExtendedStrategyByName(%s): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("strategy %q reports %q", name, s.Name())
+		}
+	}
+	if _, err := ExtendedStrategyByName("nope"); err == nil {
+		t.Error("accepted unknown strategy")
+	}
+	// The paper's list must stay pristine: extensions are separate.
+	for _, name := range StrategyNames() {
+		if name == "inverse_degree" || name == "mixed_exploration" {
+			t.Error("extension leaked into the paper's strategy list")
+		}
+	}
+}
+
+func TestInverseDegreeTargetsLongTail(t *testing.T) {
+	g := ruleTestGraph(t)
+	// Add a hub to create a popularity spread.
+	for i := 0; i < 6; i++ {
+		g.AddNamed("alice", "knows", string(rune('x'+i)))
+	}
+	s := NewInverseDegree()
+	s.Bind(g)
+	subs, sw, _, _ := s.Weights(0)
+	// alice (the hub) must have the smallest subject weight.
+	var aliceW, maxW float64
+	for i, e := range subs {
+		if g.Entities.Name(int32(e)) == "alice" {
+			aliceW = sw[i]
+		}
+		if sw[i] > maxW {
+			maxW = sw[i]
+		}
+	}
+	if aliceW == 0 || aliceW >= maxW {
+		t.Errorf("hub weight %g should be positive and the smallest (max %g)", aliceW, maxW)
+	}
+}
+
+func TestMixedExplorationInterpolates(t *testing.T) {
+	g := ruleTestGraph(t)
+	pure := NewGraphDegree()
+	pure.Bind(g)
+	_, pureW, _, _ := pure.Weights(0)
+
+	mixed0 := NewMixedExploration(0)
+	mixed0.Bind(g)
+	_, mixed0W, _, _ := mixed0.Weights(0)
+
+	// ε = 0 reduces to GRAPH DEGREE up to normalization: proportionality.
+	ratio := mixed0W[0] / pureW[0]
+	for i := range pureW {
+		if pureW[i] == 0 {
+			continue
+		}
+		got := mixed0W[i] / pureW[i]
+		if diff := got - ratio; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("ε=0 mixed weights not proportional to degree at %d", i)
+		}
+	}
+
+	// ε is clamped.
+	if NewMixedExploration(-1).Name() != "mixed_exploration" {
+		t.Error("clamped constructor broken")
+	}
+	if NewMixedExploration(2).Name() != "mixed_exploration" {
+		t.Error("clamped constructor broken")
+	}
+}

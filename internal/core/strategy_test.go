@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// strategyTestGraph builds a small graph with known structure:
+//
+//	relation 0: a→b, a→c, d→b   (a frequent subject, b frequent object)
+//	relation 1: b→c, c→a, a→b   (forms the triangle a-b-c in the projection)
+//	plus pendant: e→a (relation 0)
+func strategyTestGraph(t *testing.T) *kg.Graph {
+	t.Helper()
+	g := kg.NewGraph()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		g.Entities.Intern(n)
+	}
+	g.Relations.Intern("r0")
+	g.Relations.Intern("r1")
+	add := func(s, r, o int) {
+		g.Add(kg.Triple{S: kg.EntityID(s), R: kg.RelationID(r), O: kg.EntityID(o)})
+	}
+	add(0, 0, 1) // a r0 b
+	add(0, 0, 2) // a r0 c
+	add(3, 0, 1) // d r0 b
+	add(4, 0, 0) // e r0 a
+	add(1, 1, 2) // b r1 c
+	add(2, 1, 0) // c r1 a
+	add(0, 1, 1) // a r1 b
+	return g
+}
+
+func TestStrategyByNameRoundtrip(t *testing.T) {
+	for _, name := range StrategyNames() {
+		s, err := StrategyByName(name)
+		if err != nil {
+			t.Fatalf("StrategyByName(%s): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("strategy %q reports name %q", name, s.Name())
+		}
+	}
+	if _, err := StrategyByName("nope"); err == nil {
+		t.Error("accepted unknown strategy name")
+	}
+}
+
+func TestUniformRandomWeights(t *testing.T) {
+	g := strategyTestGraph(t)
+	s := NewUniformRandom()
+	s.Bind(g)
+	subs, sw, objs, ow := s.Weights(0)
+	if len(subs) != 3 { // a, d, e
+		t.Fatalf("subjects = %d, want 3", len(subs))
+	}
+	if len(objs) != 3 { // b, c, a
+		t.Fatalf("objects = %d, want 3", len(objs))
+	}
+	for _, w := range sw {
+		if w != sw[0] {
+			t.Error("uniform subject weights differ")
+		}
+	}
+	for _, w := range ow {
+		if w != ow[0] {
+			t.Error("uniform object weights differ")
+		}
+	}
+}
+
+func TestEntityFrequencyWeights(t *testing.T) {
+	g := strategyTestGraph(t)
+	s := NewEntityFrequency()
+	s.Bind(g)
+	subs, sw, objs, ow := s.Weights(0)
+	weightOf := func(pool []kg.EntityID, ws []float64, e kg.EntityID) float64 {
+		for i, p := range pool {
+			if p == e {
+				return ws[i]
+			}
+		}
+		t.Fatalf("entity %d not in pool", e)
+		return 0
+	}
+	// Subject side of r0: a appears twice, d and e once.
+	if got := weightOf(subs, sw, 0); got != 2 {
+		t.Errorf("weight(a as subject) = %g, want 2", got)
+	}
+	if got := weightOf(subs, sw, 3); got != 1 {
+		t.Errorf("weight(d as subject) = %g, want 1", got)
+	}
+	// Object side of r0: b twice, c and a once.
+	if got := weightOf(objs, ow, 1); got != 2 {
+		t.Errorf("weight(b as object) = %g, want 2", got)
+	}
+	// Sides are weighted independently (paper's note on Equations 1-2).
+	if got := weightOf(objs, ow, 0); got != 1 {
+		t.Errorf("weight(a as object) = %g, want 1", got)
+	}
+}
+
+func TestGraphDegreeWeights(t *testing.T) {
+	g := strategyTestGraph(t)
+	s := NewGraphDegree()
+	s.Bind(g)
+	subs, sw, _, _ := s.Weights(0)
+	// Degrees (in+out over all triples): a: out 3 (2×r0 + 1×r1), in 2 → 5.
+	for i, e := range subs {
+		if e == 0 && sw[i] != 5 {
+			t.Errorf("degree weight(a) = %g, want 5", sw[i])
+		}
+		if e == 4 && sw[i] != 1 {
+			t.Errorf("degree weight(e) = %g, want 1", sw[i])
+		}
+	}
+}
+
+func TestClusteringTrianglesWeights(t *testing.T) {
+	g := strategyTestGraph(t)
+	s := NewClusteringTriangles()
+	s.Bind(g)
+	subs, sw, _, _ := s.Weights(0)
+	// Triangle a-b-c exists; d, e are in none.
+	for i, e := range subs {
+		switch e {
+		case 0: // a
+			if sw[i] != 1 {
+				t.Errorf("T(a) weight = %g, want 1", sw[i])
+			}
+		case 3, 4: // d, e
+			if sw[i] != 0 {
+				t.Errorf("T(%d) weight = %g, want 0", e, sw[i])
+			}
+		}
+	}
+}
+
+func TestClusteringCoefficientWeights(t *testing.T) {
+	g := strategyTestGraph(t)
+	s := NewClusteringCoefficient()
+	s.Bind(g)
+	_, _, objs, ow := s.Weights(1)
+	// Objects of r1: c, a, b — all corners of the triangle.
+	// b: neighbours {a, c, d} → deg 3, 1 triangle → c = 2/(3·2) = 1/3.
+	for i, e := range objs {
+		if e == 1 && math.Abs(ow[i]-1.0/3) > 1e-12 {
+			t.Errorf("c(b) weight = %g, want 1/3", ow[i])
+		}
+	}
+}
+
+func TestZeroWeightFallbackToUniform(t *testing.T) {
+	// A path graph has no triangles: triangle weights are all zero and the
+	// strategy must fall back to uniform rather than produce an unusable
+	// all-zero distribution.
+	g := kg.NewGraph()
+	for _, n := range []string{"x", "y", "z"} {
+		g.Entities.Intern(n)
+	}
+	g.Relations.Intern("r")
+	g.Add(kg.Triple{S: 0, R: 0, O: 1})
+	g.Add(kg.Triple{S: 1, R: 0, O: 2})
+	s := NewClusteringTriangles()
+	s.Bind(g)
+	subs, sw, _, _ := s.Weights(0)
+	if len(subs) == 0 {
+		t.Fatal("no subjects")
+	}
+	var sum float64
+	for _, w := range sw {
+		sum += w
+	}
+	if sum <= 0 {
+		t.Error("zero-weight fallback failed: weights sum to 0")
+	}
+}
+
+func TestWeightCaching(t *testing.T) {
+	g := strategyTestGraph(t)
+	s := NewClusteringTriangles()
+	s.Bind(g)
+	wc, ok := s.(WeightCacher)
+	if !ok {
+		t.Fatal("triangles strategy does not implement WeightCacher")
+	}
+	// Cached and uncached weights must agree.
+	_, sw1, _, ow1 := s.Weights(0)
+	wc.SetCacheWeights(true)
+	_, sw2, _, ow2 := s.Weights(0)
+	_, sw3, _, _ := s.Weights(0) // second call hits the cache
+	for i := range sw1 {
+		if sw1[i] != sw2[i] || sw2[i] != sw3[i] {
+			t.Fatalf("caching changed weights at %d: %g %g %g", i, sw1[i], sw2[i], sw3[i])
+		}
+	}
+	for i := range ow1 {
+		if ow1[i] != ow2[i] {
+			t.Fatalf("caching changed object weights at %d", i)
+		}
+	}
+	// Rebinding must invalidate the cache (weights reflect the new graph).
+	g2 := kg.NewGraph()
+	g2.Entities.Intern("p")
+	g2.Entities.Intern("q")
+	g2.Relations.Intern("r")
+	g2.Add(kg.Triple{S: 0, R: 0, O: 1})
+	s.Bind(g2)
+	subs, _, _, _ := s.Weights(0)
+	if len(subs) != 1 {
+		t.Errorf("stale cache after rebind: %d subjects", len(subs))
+	}
+}
+
+func TestUniformNormalizedProbability(t *testing.T) {
+	// Equation 1: normalized sampling probability is 1/len(side pool).
+	g := strategyTestGraph(t)
+	s := NewUniformRandom()
+	s.Bind(g)
+	subs, sw, _, _ := s.Weights(0)
+	var sum float64
+	for _, w := range sw {
+		sum += w
+	}
+	for i := range sw {
+		if p := sw[i] / sum; math.Abs(p-1/float64(len(subs))) > 1e-12 {
+			t.Fatalf("normalized probability = %g, want %g", p, 1/float64(len(subs)))
+		}
+	}
+}

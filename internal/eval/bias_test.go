@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// popularityModel scores objects purely by their global popularity — the
+// maximally popularity-biased model.
+type popularityModel struct {
+	n   int
+	pop []float32
+}
+
+func (m *popularityModel) Name() string              { return "popbias" }
+func (m *popularityModel) Dim() int                  { return 1 }
+func (m *popularityModel) NumEntities() int          { return m.n }
+func (m *popularityModel) NumRelations() int         { return 1 }
+func (m *popularityModel) Score(t kg.Triple) float32 { return m.pop[t.O] }
+
+func (m *popularityModel) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
+	copy(out, m.pop)
+	return out
+}
+
+func (m *popularityModel) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32) []float32 {
+	for i := range out {
+		out[i] = m.pop[o]
+	}
+	return out
+}
+
+// antiPopularityModel inverts the scores.
+type antiPopularityModel struct{ popularityModel }
+
+func (m *antiPopularityModel) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
+	for i := range out {
+		out[i] = -m.pop[i]
+	}
+	return out
+}
+
+func biasGraph(t *testing.T) *kg.Graph {
+	t.Helper()
+	g := kg.NewGraph()
+	for i := 0; i < 12; i++ {
+		g.Entities.Intern(string(rune('a' + i)))
+	}
+	g.Relations.Intern("r")
+	// Entity 0 is the hub: high degree.
+	for i := 1; i < 12; i++ {
+		g.Add(kg.Triple{S: kg.EntityID(i), R: 0, O: 0})
+	}
+	g.Add(kg.Triple{S: 1, R: 0, O: 2})
+	g.Add(kg.Triple{S: 3, R: 0, O: 4})
+	return g
+}
+
+func popVector(g *kg.Graph) []float32 {
+	pop := make([]float32, g.NumEntities())
+	for e := range pop {
+		pop[e] = float32(g.Degree(kg.EntityID(e)))
+	}
+	return pop
+}
+
+func TestPopularityBiasDetectsBiasedModel(t *testing.T) {
+	g := biasGraph(t)
+	m := &popularityModel{n: g.NumEntities(), pop: popVector(g)}
+	rep := PopularityBias(m, g, 20, 1)
+	if rep.Contexts == 0 {
+		t.Fatal("no contexts sampled")
+	}
+	if rep.MeanSpearman < 0.9 {
+		t.Errorf("perfectly biased model scored %.3f, want ≈ 1", rep.MeanSpearman)
+	}
+}
+
+func TestPopularityBiasDetectsAntiBias(t *testing.T) {
+	g := biasGraph(t)
+	m := &antiPopularityModel{popularityModel{n: g.NumEntities(), pop: popVector(g)}}
+	rep := PopularityBias(m, g, 20, 1)
+	if rep.MeanSpearman > -0.9 {
+		t.Errorf("anti-biased model scored %.3f, want ≈ -1", rep.MeanSpearman)
+	}
+}
+
+func TestPopularityBiasEmptyGraph(t *testing.T) {
+	g := kg.NewGraph()
+	m := &popularityModel{n: 1, pop: []float32{0}}
+	rep := PopularityBias(m, g, 10, 1)
+	if rep.Contexts != 0 {
+		t.Errorf("empty graph produced %d contexts", rep.Contexts)
+	}
+}

@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// separableModel gives positives (triples of the graph) high scores and
+// everything else low scores — perfectly separable calibration data.
+type separableModel struct {
+	n, k int
+	g    *kg.Graph
+}
+
+func (m *separableModel) Name() string      { return "separable" }
+func (m *separableModel) Dim() int          { return 1 }
+func (m *separableModel) NumEntities() int  { return m.n }
+func (m *separableModel) NumRelations() int { return m.k }
+
+func (m *separableModel) Score(t kg.Triple) float32 {
+	if m.g.Contains(t) {
+		return 3
+	}
+	return -3
+}
+
+func (m *separableModel) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
+	for o := range out {
+		out[o] = m.Score(kg.Triple{S: s, R: r, O: kg.EntityID(o)})
+	}
+	return out
+}
+
+func (m *separableModel) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32) []float32 {
+	for s := range out {
+		out[s] = m.Score(kg.Triple{S: kg.EntityID(s), R: r, O: o})
+	}
+	return out
+}
+
+func calibrationGraph(t *testing.T) *kg.Graph {
+	t.Helper()
+	g := kg.NewGraph()
+	for i := 0; i < 30; i++ {
+		g.Entities.Intern(string(rune('a' + i)))
+	}
+	g.Relations.Intern("r")
+	for i := 0; i < 29; i++ {
+		g.Add(kg.Triple{S: kg.EntityID(i), R: 0, O: kg.EntityID(i + 1)})
+		g.Add(kg.Triple{S: kg.EntityID(i), R: 0, O: kg.EntityID((i * 7) % 30)})
+	}
+	return g
+}
+
+func TestFitPlattSeparatesClasses(t *testing.T) {
+	g := calibrationGraph(t)
+	m := &separableModel{n: g.NumEntities(), k: 1, g: g}
+	cal, err := FitPlatt(m, g, g, CalibrationOptions{Seed: 1})
+	if err != nil {
+		t.Fatalf("FitPlatt: %v", err)
+	}
+	pPos := cal.Prob(3)
+	pNeg := cal.Prob(-3)
+	if pPos <= 0.8 {
+		t.Errorf("positive-score probability = %.3f, want > 0.8", pPos)
+	}
+	if pNeg >= 0.2 {
+		t.Errorf("negative-score probability = %.3f, want < 0.2", pNeg)
+	}
+	if pPos <= pNeg {
+		t.Error("calibrator not monotone in score")
+	}
+}
+
+func TestPlattProbMonotone(t *testing.T) {
+	cal := &PlattCalibrator{A: 2, C: -1}
+	prev := -1.0
+	for s := float32(-5); s <= 5; s += 0.5 {
+		p := cal.Prob(s)
+		if p <= prev {
+			t.Fatalf("Prob not strictly increasing at %g", s)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("Prob(%g) = %g outside [0,1]", s, p)
+		}
+		prev = p
+	}
+}
+
+func TestPlattNegativeSlope(t *testing.T) {
+	// A model whose scores are inverted yields a negative A — the
+	// calibrator must still produce valid monotone-decreasing probabilities.
+	cal := &PlattCalibrator{A: -1, C: 0}
+	if cal.Prob(-2) <= cal.Prob(2) {
+		t.Error("negative slope not respected")
+	}
+}
+
+func TestFitPlattEmptyHeldout(t *testing.T) {
+	g := calibrationGraph(t)
+	m := &separableModel{n: g.NumEntities(), k: 1, g: g}
+	if _, err := FitPlatt(m, kg.NewGraph(), g, CalibrationOptions{}); err == nil {
+		t.Fatal("expected error for empty held-out graph")
+	}
+}
+
+func TestFitPlattDeterministic(t *testing.T) {
+	g := calibrationGraph(t)
+	m := &separableModel{n: g.NumEntities(), k: 1, g: g}
+	a, err := FitPlatt(m, g, g, CalibrationOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitPlatt(m, g, g, CalibrationOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.A-b.A) > 1e-12 || math.Abs(a.C-b.C) > 1e-12 {
+		t.Errorf("same seed produced different calibrators: %+v vs %+v", a, b)
+	}
+}

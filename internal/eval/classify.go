@@ -1,0 +1,173 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/kg"
+	"repro/internal/kge"
+)
+
+// This file implements triple classification, the other standard KGE
+// evaluation task the paper's §2.1 describes: "These models can be used to
+// predict whether a triple is true or false … label it by {−1, 1}" by
+// thresholding the score. Following Socher et al.'s protocol, a per-relation
+// score threshold is chosen on a validation set (positives vs sampled
+// corruptions) to maximize accuracy, then applied to the test set.
+
+// Classifier labels triples true/false using per-relation thresholds, with
+// a global fallback for relations unseen during calibration.
+type Classifier struct {
+	model     kge.Model
+	threshold map[kg.RelationID]float32
+	global    float32
+}
+
+// Classify returns the predicted label of t (+1 true, −1 false).
+func (c *Classifier) Classify(t kg.Triple) int {
+	th, ok := c.threshold[t.R]
+	if !ok {
+		th = c.global
+	}
+	if c.model.Score(t) > th {
+		return 1
+	}
+	return -1
+}
+
+// Threshold returns the decision threshold used for relation r.
+func (c *Classifier) Threshold(r kg.RelationID) float32 {
+	if th, ok := c.threshold[r]; ok {
+		return th
+	}
+	return c.global
+}
+
+// TrainClassifier calibrates per-relation thresholds on heldout (typically
+// the validation split): for each positive a corruption absent from filter
+// is sampled, and the threshold midpoint that maximizes accuracy over the
+// relation's scored pairs is chosen.
+func TrainClassifier(m kge.Model, heldout, filter *kg.Graph, seed int64) (*Classifier, error) {
+	if heldout.Len() == 0 {
+		return nil, fmt.Errorf("eval: empty held-out graph for classifier calibration")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	byRel := make(map[kg.RelationID][]scoredExample)
+	var all []scoredExample
+	for _, t := range heldout.Triples() {
+		pos := scoredExample{score: m.Score(t), label: true}
+		neg := scoredExample{score: m.Score(corruptUnseen(t, m.NumEntities(), filter, rng)), label: false}
+		byRel[t.R] = append(byRel[t.R], pos, neg)
+		all = append(all, pos, neg)
+	}
+
+	c := &Classifier{model: m, threshold: make(map[kg.RelationID]float32)}
+	c.global = bestThreshold(all)
+	for r, xs := range byRel {
+		c.threshold[r] = bestThreshold(xs)
+	}
+	return c, nil
+}
+
+// scoredExample is one calibration observation: a raw model score with its
+// true/false label.
+type scoredExample struct {
+	score float32
+	label bool
+}
+
+// bestThreshold returns the threshold maximizing accuracy for "score >
+// threshold ⇒ true" over the labeled scores. Candidate thresholds are the
+// midpoints between consecutive distinct scores plus sentinels.
+func bestThreshold(xs []scoredExample) float32 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].score < xs[j].score })
+	totalPos := 0
+	for _, x := range xs {
+		if x.label {
+			totalPos++
+		}
+	}
+	// Sweeping the threshold from below the minimum upward: predictions
+	// flip from "all true" to progressively more "false". Track correct =
+	// (positives above threshold) + (negatives at or below threshold).
+	bestAcc := -1
+	bestTh := xs[0].score - 1
+	posAbove := totalPos
+	negBelow := 0
+	consider := func(th float32, acc int) {
+		if acc > bestAcc {
+			bestAcc = acc
+			bestTh = th
+		}
+	}
+	consider(bestTh, posAbove+negBelow)
+	for i := 0; i < len(xs); i++ {
+		if xs[i].label {
+			posAbove--
+		} else {
+			negBelow++
+		}
+		// Threshold between this score and the next distinct one.
+		var th float32
+		if i+1 < len(xs) {
+			if xs[i+1].score == xs[i].score {
+				continue
+			}
+			th = (xs[i].score + xs[i+1].score) / 2
+		} else {
+			th = xs[i].score + 1
+		}
+		consider(th, posAbove+negBelow)
+	}
+	if math.IsNaN(float64(bestTh)) {
+		return 0
+	}
+	return bestTh
+}
+
+// ClassificationResult aggregates triple-classification accuracy.
+type ClassificationResult struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	N         int
+}
+
+// EvaluateClassifier labels every test triple (positive) and one sampled
+// corruption each (negative) and reports accuracy, precision and recall of
+// the positive class.
+func EvaluateClassifier(c *Classifier, test, filter *kg.Graph, seed int64) ClassificationResult {
+	rng := rand.New(rand.NewSource(seed))
+	var tp, tn, fp, fn int
+	for _, t := range test.Triples() {
+		if c.Classify(t) == 1 {
+			tp++
+		} else {
+			fn++
+		}
+		neg := corruptUnseen(t, c.model.NumEntities(), filter, rng)
+		if c.Classify(neg) == 1 {
+			fp++
+		} else {
+			tn++
+		}
+	}
+	n := tp + tn + fp + fn
+	res := ClassificationResult{N: n}
+	if n > 0 {
+		res.Accuracy = float64(tp+tn) / float64(n)
+	}
+	if tp+fp > 0 {
+		res.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		res.Recall = float64(tp) / float64(tp+fn)
+	}
+	return res
+}

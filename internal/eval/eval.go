@@ -1,0 +1,220 @@
+// Package eval implements the standard link-prediction evaluation protocol
+// for knowledge graph embeddings (Bordes et al., 2013): each test triple is
+// ranked against its corruptions — every triple obtained by substituting the
+// object (and optionally the subject) with every other entity — and the
+// ranks are aggregated into MRR, mean rank, and Hits@k. Both the raw and the
+// filtered settings are supported; in the filtered setting corruptions that
+// are themselves true triples (of train ∪ valid ∪ test) are skipped.
+//
+// The same per-triple ranking primitive is what the fact discovery algorithm
+// (internal/core) uses to decide whether a candidate passes the top_n
+// quality threshold.
+package eval
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/kg"
+	"repro/internal/kge"
+)
+
+// Ranker ranks triples against their corruptions for a fixed model and
+// (optional) filter graph. A nil filter selects the raw protocol. Rankers
+// are safe for concurrent use; per-call score buffers are pooled.
+type Ranker struct {
+	model  kge.Model
+	filter *kg.Graph
+	pool   sync.Pool
+}
+
+// NewRanker returns a Ranker over model. filter may be nil (raw protocol).
+func NewRanker(model kge.Model, filter *kg.Graph) *Ranker {
+	r := &Ranker{model: model, filter: filter}
+	n := model.NumEntities()
+	r.pool.New = func() any {
+		buf := make([]float32, n)
+		return &buf
+	}
+	return r
+}
+
+// Model returns the model being ranked against.
+func (r *Ranker) Model() kge.Model { return r.model }
+
+// RankObject returns the rank of t among its object-side corruptions
+// (s, r, o') for all entities o'. Rank 1 is best. Ties are resolved by the
+// "mean" policy: rank = 1 + |{o' : f(o') > f(o)}| + ⌊|{o' ≠ o : f(o') = f(o)}| / 2⌋,
+// which avoids both optimistic and pessimistic bias. In the filtered
+// setting, corruptions present in the filter graph are skipped.
+func (r *Ranker) RankObject(t kg.Triple) int {
+	bufp := r.pool.Get().(*[]float32)
+	defer r.pool.Put(bufp)
+	scores := r.model.ScoreAllObjects(t.S, t.R, *bufp)
+	target := scores[t.O]
+	greater, equal := 0, 0
+	for o, sc := range scores {
+		if kg.EntityID(o) == t.O {
+			continue
+		}
+		if r.filter != nil && r.filter.Contains(kg.Triple{S: t.S, R: t.R, O: kg.EntityID(o)}) {
+			continue
+		}
+		switch {
+		case sc > target:
+			greater++
+		case sc == target:
+			equal++
+		}
+	}
+	return 1 + greater + equal/2
+}
+
+// RankSubject mirrors RankObject for subject-side corruptions (s', r, o).
+func (r *Ranker) RankSubject(t kg.Triple) int {
+	bufp := r.pool.Get().(*[]float32)
+	defer r.pool.Put(bufp)
+	scores := r.model.ScoreAllSubjects(t.R, t.O, *bufp)
+	target := scores[t.S]
+	greater, equal := 0, 0
+	for s, sc := range scores {
+		if kg.EntityID(s) == t.S {
+			continue
+		}
+		if r.filter != nil && r.filter.Contains(kg.Triple{S: kg.EntityID(s), R: t.R, O: t.O}) {
+			continue
+		}
+		switch {
+		case sc > target:
+			greater++
+		case sc == target:
+			equal++
+		}
+	}
+	return 1 + greater + equal/2
+}
+
+// Options controls Evaluate.
+type Options struct {
+	// BothSides additionally ranks subject-side corruptions (the full
+	// Bordes protocol); default ranks objects only, matching the paper's
+	// §2.1 description and the discovery algorithm's usage.
+	BothSides bool
+	// HitsAt lists the k values for Hits@k; nil means {1, 3, 10}.
+	HitsAt []int
+	// MaxTriples, when > 0, evaluates only the first MaxTriples triples —
+	// used for fast validation during training.
+	MaxTriples int
+	// Workers bounds parallelism; zero means GOMAXPROCS.
+	Workers int
+}
+
+// Result aggregates ranks over an evaluation set.
+type Result struct {
+	// MRR is the mean reciprocal rank Σ 1/rankᵢ / |Q| (Equation 7).
+	MRR float64
+	// MeanRank is the arithmetic mean rank.
+	MeanRank float64
+	// Hits maps k to the fraction of ranks ≤ k.
+	Hits map[int]float64
+	// N is the number of ranks aggregated.
+	N int
+}
+
+// Evaluate ranks every triple of test and aggregates the metrics.
+func Evaluate(ranker *Ranker, test *kg.Graph, opts Options) Result {
+	triples := test.Triples()
+	if opts.MaxTriples > 0 && opts.MaxTriples < len(triples) {
+		triples = triples[:opts.MaxTriples]
+	}
+	hitsAt := opts.HitsAt
+	if hitsAt == nil {
+		hitsAt = []int{1, 3, 10}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(triples) {
+		workers = len(triples)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ranksCh := make(chan int, 256)
+	var wg sync.WaitGroup
+	per := (len(triples) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(triples) {
+			hi = len(triples)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(chunk []kg.Triple) {
+			defer wg.Done()
+			for _, t := range chunk {
+				ranksCh <- ranker.RankObject(t)
+				if opts.BothSides {
+					ranksCh <- ranker.RankSubject(t)
+				}
+			}
+		}(triples[lo:hi])
+	}
+	go func() {
+		wg.Wait()
+		close(ranksCh)
+	}()
+
+	var ranks []int
+	for rk := range ranksCh {
+		ranks = append(ranks, rk)
+	}
+	return Aggregate(ranks, hitsAt)
+}
+
+// Aggregate computes the metrics over a set of ranks.
+func Aggregate(ranks []int, hitsAt []int) Result {
+	res := Result{Hits: make(map[int]float64), N: len(ranks)}
+	if len(ranks) == 0 {
+		return res
+	}
+	var sumRR, sumRank float64
+	hitCounts := make(map[int]int)
+	for _, rk := range ranks {
+		sumRR += 1 / float64(rk)
+		sumRank += float64(rk)
+		for _, k := range hitsAt {
+			if rk <= k {
+				hitCounts[k]++
+			}
+		}
+	}
+	res.MRR = sumRR / float64(len(ranks))
+	res.MeanRank = sumRank / float64(len(ranks))
+	for _, k := range hitsAt {
+		res.Hits[k] = float64(hitCounts[k]) / float64(len(ranks))
+	}
+	return res
+}
+
+// MRROfRanks is the bare Equation 7 over integer ranks (used to score
+// discovered fact sets).
+func MRROfRanks(ranks []int) float64 {
+	if len(ranks) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, rk := range ranks {
+		sum += 1 / float64(rk)
+	}
+	mrr := sum / float64(len(ranks))
+	if math.IsNaN(mrr) || math.IsInf(mrr, 0) {
+		return 0
+	}
+	return mrr
+}

@@ -1,0 +1,200 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// stubModel scores triples by a fixed per-entity table: score(s, r, o) =
+// table[o] + rowBias[s] (object ranking then depends only on the table).
+type stubModel struct {
+	n     int
+	k     int
+	table []float32
+}
+
+func (m *stubModel) Name() string      { return "stub" }
+func (m *stubModel) Dim() int          { return 1 }
+func (m *stubModel) NumEntities() int  { return m.n }
+func (m *stubModel) NumRelations() int { return m.k }
+
+func (m *stubModel) Score(t kg.Triple) float32 { return m.table[t.O] + 0.001*float32(t.S) }
+
+func (m *stubModel) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
+	for o := range out {
+		out[o] = m.Score(kg.Triple{S: s, R: r, O: kg.EntityID(o)})
+	}
+	return out
+}
+
+func (m *stubModel) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32) []float32 {
+	for s := range out {
+		out[s] = m.Score(kg.Triple{S: kg.EntityID(s), R: r, O: o})
+	}
+	return out
+}
+
+func TestRankObjectRawProtocol(t *testing.T) {
+	// Entity scores: e0=0.1, e1=0.5, e2=0.9, e3=0.3.
+	m := &stubModel{n: 4, k: 1, table: []float32{0.1, 0.5, 0.9, 0.3}}
+	r := NewRanker(m, nil)
+	// Target o=1 (0.5): only e2 scores higher → rank 2.
+	if got := r.RankObject(kg.Triple{S: 0, R: 0, O: 1}); got != 2 {
+		t.Errorf("rank = %d, want 2", got)
+	}
+	// Best entity ranks 1.
+	if got := r.RankObject(kg.Triple{S: 0, R: 0, O: 2}); got != 1 {
+		t.Errorf("rank of best = %d, want 1", got)
+	}
+	// Worst entity ranks 4.
+	if got := r.RankObject(kg.Triple{S: 0, R: 0, O: 0}); got != 4 {
+		t.Errorf("rank of worst = %d, want 4", got)
+	}
+}
+
+func TestRankObjectFilteredProtocol(t *testing.T) {
+	m := &stubModel{n: 4, k: 1, table: []float32{0.1, 0.5, 0.9, 0.3}}
+	filter := kg.NewGraph()
+	for i := 0; i < 4; i++ {
+		filter.Entities.Intern(string(rune('a' + i)))
+	}
+	filter.Relations.Intern("r")
+	// (0, r, 2) is a known true triple: it must be skipped when ranking
+	// (0, r, 1), promoting it to rank 1.
+	filter.Add(kg.Triple{S: 0, R: 0, O: 2})
+	r := NewRanker(m, filter)
+	if got := r.RankObject(kg.Triple{S: 0, R: 0, O: 1}); got != 1 {
+		t.Errorf("filtered rank = %d, want 1", got)
+	}
+	// A different subject is unaffected by the filter entry.
+	if got := r.RankObject(kg.Triple{S: 1, R: 0, O: 1}); got != 2 {
+		t.Errorf("filtered rank for other subject = %d, want 2", got)
+	}
+}
+
+func TestRankObjectTiesUseMeanPolicy(t *testing.T) {
+	m := &stubModel{n: 5, k: 1, table: []float32{0.5, 0.5, 0.5, 0.5, 0.5}}
+	r := NewRanker(m, nil)
+	// All five entities tie: greater=0, equal=4 → rank = 1 + 0 + 2 = 3.
+	if got := r.RankObject(kg.Triple{S: 0, R: 0, O: 2}); got != 3 {
+		t.Errorf("tie rank = %d, want 3 (mean policy)", got)
+	}
+}
+
+func TestRankSubject(t *testing.T) {
+	// Make subject ranking depend on s: score = table[o] + 0.001*s, so
+	// higher s wins.
+	m := &stubModel{n: 4, k: 1, table: []float32{0, 0, 0, 0}}
+	r := NewRanker(m, nil)
+	if got := r.RankSubject(kg.Triple{S: 3, R: 0, O: 0}); got != 1 {
+		t.Errorf("subject rank of best = %d, want 1", got)
+	}
+	if got := r.RankSubject(kg.Triple{S: 0, R: 0, O: 0}); got != 4 {
+		t.Errorf("subject rank of worst = %d, want 4", got)
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	m := &stubModel{n: 10, k: 1, table: []float32{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0}}
+	test := kg.NewGraph()
+	for i := 0; i < 10; i++ {
+		test.Entities.Intern(string(rune('a' + i)))
+	}
+	test.Relations.Intern("r")
+	// Targets e0 (rank 1) and e1 (rank 2).
+	test.Add(kg.Triple{S: 2, R: 0, O: 0})
+	test.Add(kg.Triple{S: 3, R: 0, O: 1})
+	res := Evaluate(NewRanker(m, nil), test, Options{})
+	if res.N != 2 {
+		t.Fatalf("N = %d, want 2", res.N)
+	}
+	wantMRR := (1.0 + 0.5) / 2
+	if math.Abs(res.MRR-wantMRR) > 1e-12 {
+		t.Errorf("MRR = %g, want %g", res.MRR, wantMRR)
+	}
+	if res.MeanRank != 1.5 {
+		t.Errorf("MeanRank = %g, want 1.5", res.MeanRank)
+	}
+	if res.Hits[1] != 0.5 || res.Hits[3] != 1 || res.Hits[10] != 1 {
+		t.Errorf("Hits = %v", res.Hits)
+	}
+}
+
+func TestEvaluateBothSides(t *testing.T) {
+	m := &stubModel{n: 5, k: 1, table: []float32{0.1, 0.2, 0.3, 0.4, 0.5}}
+	test := kg.NewGraph()
+	for i := 0; i < 5; i++ {
+		test.Entities.Intern(string(rune('a' + i)))
+	}
+	test.Relations.Intern("r")
+	test.Add(kg.Triple{S: 1, R: 0, O: 2})
+	res := Evaluate(NewRanker(m, nil), test, Options{BothSides: true})
+	if res.N != 2 {
+		t.Errorf("BothSides N = %d, want 2 (object + subject rank)", res.N)
+	}
+}
+
+func TestEvaluateMaxTriples(t *testing.T) {
+	m := &stubModel{n: 5, k: 1, table: []float32{1, 2, 3, 4, 5}}
+	test := kg.NewGraph()
+	for i := 0; i < 5; i++ {
+		test.Entities.Intern(string(rune('a' + i)))
+	}
+	test.Relations.Intern("r")
+	for i := 0; i < 4; i++ {
+		test.Add(kg.Triple{S: kg.EntityID(i), R: 0, O: kg.EntityID((i + 1) % 5)})
+	}
+	res := Evaluate(NewRanker(m, nil), test, Options{MaxTriples: 2})
+	if res.N != 2 {
+		t.Errorf("MaxTriples N = %d, want 2", res.N)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := &stubModel{n: 3, k: 1, table: []float32{1, 2, 3}}
+	test := kg.NewGraph()
+	res := Evaluate(NewRanker(m, nil), test, Options{})
+	if res.N != 0 || res.MRR != 0 {
+		t.Errorf("empty evaluation: %+v", res)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	res := Aggregate([]int{1, 2, 4}, []int{1, 3})
+	wantMRR := (1 + 0.5 + 0.25) / 3
+	if math.Abs(res.MRR-wantMRR) > 1e-12 {
+		t.Errorf("MRR = %g, want %g", res.MRR, wantMRR)
+	}
+	if res.Hits[1] != 1.0/3 {
+		t.Errorf("Hits@1 = %g", res.Hits[1])
+	}
+	if res.Hits[3] != 2.0/3 {
+		t.Errorf("Hits@3 = %g", res.Hits[3])
+	}
+}
+
+func TestMRROfRanks(t *testing.T) {
+	if got := MRROfRanks(nil); got != 0 {
+		t.Errorf("MRR of empty = %g", got)
+	}
+	if got := MRROfRanks([]int{1}); got != 1 {
+		t.Errorf("MRR of rank 1 = %g", got)
+	}
+	if got := MRROfRanks([]int{2, 2}); got != 0.5 {
+		t.Errorf("MRR = %g, want 0.5", got)
+	}
+}
+
+func TestTheoreticalMRRThresholdFromPaper(t *testing.T) {
+	// §4.2.2: "top_n = 500 sets a theoretical MRR threshold of 0.002 in the
+	// case where all discovered facts are exactly ranked 500."
+	ranks := make([]int, 100)
+	for i := range ranks {
+		ranks[i] = 500
+	}
+	if got := MRROfRanks(ranks); math.Abs(got-0.002) > 1e-12 {
+		t.Errorf("MRR of all-rank-500 = %g, want 0.002", got)
+	}
+}

@@ -1,0 +1,156 @@
+// Package fft implements an iterative radix-2 fast Fourier transform over
+// complex128 plus the circular correlation operation that HolE's scoring
+// function is built on.
+//
+// HolE scores a triple as f = rᵀ (s ⋆ o) where ⋆ is circular correlation:
+//
+//	(s ⋆ o)[k] = Σ_i s[i] · o[(i+k) mod l]
+//
+// Computed naively this is O(l²); via the correlation theorem it is
+// O(l log l): s ⋆ o = IFFT( conj(FFT(s)) ∘ FFT(o) ). Both paths are exposed
+// so the ablation benchmark can compare them, and the property tests assert
+// they agree.
+package fft
+
+import "math"
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place iterative radix-2 decimation-in-time transform
+// of x. len(x) must be a power of two; FFT panics otherwise because callers
+// are expected to have validated sizes up front.
+func FFT(x []complex128) {
+	transform(x, false)
+}
+
+// IFFT computes the inverse transform of x in place, including the 1/n
+// scaling.
+func IFFT(x []complex128) {
+	transform(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		panic("fft: length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// CircularCorrelation computes s ⋆ o into dst and returns dst. It picks the
+// FFT path when the length is a power of two and the naive path otherwise.
+// All three slices must have equal length; dst may alias neither input.
+func CircularCorrelation(dst, s, o []float32) []float32 {
+	if len(s) != len(o) || len(dst) != len(s) {
+		panic("fft: CircularCorrelation length mismatch")
+	}
+	if IsPowerOfTwo(len(s)) {
+		return circularCorrelationFFT(dst, s, o)
+	}
+	return CircularCorrelationNaive(dst, s, o)
+}
+
+// CircularCorrelationNaive is the O(l²) definition, kept exported for the
+// ablation benchmark and as the reference implementation in tests.
+func CircularCorrelationNaive(dst, s, o []float32) []float32 {
+	n := len(s)
+	for k := 0; k < n; k++ {
+		var acc float64
+		for i := 0; i < n; i++ {
+			acc += float64(s[i]) * float64(o[(i+k)%n])
+		}
+		dst[k] = float32(acc)
+	}
+	return dst
+}
+
+func circularCorrelationFFT(dst, s, o []float32) []float32 {
+	n := len(s)
+	fs := make([]complex128, n)
+	fo := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		fs[i] = complex(float64(s[i]), 0)
+		fo[i] = complex(float64(o[i]), 0)
+	}
+	FFT(fs)
+	FFT(fo)
+	for i := 0; i < n; i++ {
+		fs[i] = cmplxConj(fs[i]) * fo[i]
+	}
+	IFFT(fs)
+	for i := 0; i < n; i++ {
+		dst[i] = float32(real(fs[i]))
+	}
+	return dst
+}
+
+func cmplxConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// Convolve computes the circular convolution s * o (used by HolE gradients:
+// the gradient of correlation w.r.t. one argument is a convolution/
+// correlation of the other two vectors).
+func Convolve(dst, s, o []float32) []float32 {
+	if len(s) != len(o) || len(dst) != len(s) {
+		panic("fft: Convolve length mismatch")
+	}
+	n := len(s)
+	if IsPowerOfTwo(n) {
+		fs := make([]complex128, n)
+		fo := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			fs[i] = complex(float64(s[i]), 0)
+			fo[i] = complex(float64(o[i]), 0)
+		}
+		FFT(fs)
+		FFT(fo)
+		for i := 0; i < n; i++ {
+			fs[i] *= fo[i]
+		}
+		IFFT(fs)
+		for i := 0; i < n; i++ {
+			dst[i] = float32(real(fs[i]))
+		}
+		return dst
+	}
+	for k := 0; k < n; k++ {
+		var acc float64
+		for i := 0; i < n; i++ {
+			acc += float64(s[i]) * float64(o[((k-i)%n+n)%n])
+		}
+		dst[k] = float32(acc)
+	}
+	return dst
+}

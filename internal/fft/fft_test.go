@@ -1,0 +1,218 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want bool
+	}{{1, true}, {2, true}, {4, true}, {1024, true}, {0, false}, {3, false}, {-4, false}, {6, false}} {
+		if got := IsPowerOfTwo(tc.n); got != tc.want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of [1, 0, 0, 0] is all ones.
+	x := []complex128{1, 0, 0, 0}
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("x[%d] = %v, want 1", i, v)
+		}
+	}
+	// FFT of constant signal concentrates into bin 0.
+	y := []complex128{2, 2, 2, 2}
+	FFT(y)
+	if cmplx.Abs(y[0]-8) > 1e-12 {
+		t.Errorf("y[0] = %v, want 8", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(y[i]) > 1e-12 {
+			t.Errorf("y[%d] = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for length 3")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+// Property: IFFT(FFT(x)) == x.
+func TestPropertyFFTRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(8)) // 2..256
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parseval's theorem — energy is preserved up to the 1/n factor.
+func TestPropertyParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(7))
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			timeEnergy += real(x[i]) * real(x[i])
+		}
+		FFT(x)
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqEnergy/float64(n)-timeEnergy) < 1e-6*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func TestCircularCorrelationKnown(t *testing.T) {
+	// s = [1,0,0,0]: (s ⋆ o)[k] = o[k].
+	s := []float32{1, 0, 0, 0}
+	o := []float32{5, 6, 7, 8}
+	dst := make([]float32, 4)
+	CircularCorrelation(dst, s, o)
+	for i := range o {
+		if math.Abs(float64(dst[i]-o[i])) > 1e-5 {
+			t.Errorf("dst[%d] = %g, want %g", i, dst[i], o[i])
+		}
+	}
+}
+
+// Property: the FFT path agrees with the naive definition for power-of-two
+// lengths.
+func TestPropertyCorrelationFFTMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(6)) // 2..64
+		s, o := randVec(rng, n), randVec(rng, n)
+		fast := CircularCorrelation(make([]float32, n), s, o)
+		slow := CircularCorrelationNaive(make([]float32, n), s, o)
+		for i := range fast {
+			if math.Abs(float64(fast[i]-slow[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Non-power-of-two lengths take the naive path and must still work.
+func TestCorrelationNonPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, o := randVec(rng, 7), randVec(rng, 7)
+	got := CircularCorrelation(make([]float32, 7), s, o)
+	want := CircularCorrelationNaive(make([]float32, 7), s, o)
+	for i := range got {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("got[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: convolution is commutative; correlation is not (in general),
+// but corr(s, o)[0] == conv-free dot: (s ⋆ o)[0] == s·o.
+func TestPropertyCorrelationZeroLag(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(6))
+		s, o := randVec(rng, n), randVec(rng, n)
+		corr := CircularCorrelation(make([]float32, n), s, o)
+		var dot float64
+		for i := range s {
+			dot += float64(s[i]) * float64(o[i])
+		}
+		return math.Abs(float64(corr[0])-dot) < 1e-3*(1+math.Abs(dot))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: convolution commutes: s * o == o * s.
+func TestPropertyConvolutionCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, n := range []int{8, 7} { // FFT and naive paths
+			s, o := randVec(rng, n), randVec(rng, n)
+			ab := Convolve(make([]float32, n), s, o)
+			ba := Convolve(make([]float32, n), o, s)
+			for i := range ab {
+				if math.Abs(float64(ab[i]-ba[i])) > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the HolE gradient identity rᵀ(s ⋆ o) == oᵀ(r * s) — the object
+// sweep in internal/kge relies on it.
+func TestPropertyHolEIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + rng.Intn(5))
+		s, o, r := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+		corr := CircularCorrelation(make([]float32, n), s, o)
+		var lhs float64
+		for i := range r {
+			lhs += float64(r[i]) * float64(corr[i])
+		}
+		conv := Convolve(make([]float32, n), r, s)
+		var rhs float64
+		for i := range o {
+			rhs += float64(o[i]) * float64(conv[i])
+		}
+		return math.Abs(lhs-rhs) < 1e-3*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package graphstats computes the structural node statistics that drive the
+// paper's sampling strategies and figures: degrees, local triangle counts
+// T(v), local clustering coefficients c(v) (Watts–Strogatz), and square
+// clustering coefficients c₄(v) (Zhang et al.), all computed — as the paper
+// specifies — on the homogeneous undirected projection of the knowledge
+// graph (relation labels and edge directions dropped, self-loops and
+// parallel edges collapsed).
+package graphstats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/kg"
+)
+
+// Undirected is the homogeneous undirected projection of a knowledge graph:
+// node v's neighbours are every entity connected to v by at least one triple
+// in either direction, excluding v itself. Neighbour lists are sorted, which
+// the triangle counter exploits for merge-style intersections.
+type Undirected struct {
+	adj [][]kg.EntityID
+}
+
+// BuildUndirected projects g. Nodes are all interned entities (0..N-1),
+// including isolated ones.
+func BuildUndirected(g *kg.Graph) *Undirected {
+	n := g.NumEntities()
+	sets := make([]map[kg.EntityID]struct{}, n)
+	addEdge := func(a, b kg.EntityID) {
+		if a == b {
+			return
+		}
+		if sets[a] == nil {
+			sets[a] = make(map[kg.EntityID]struct{})
+		}
+		sets[a][b] = struct{}{}
+	}
+	for _, t := range g.Triples() {
+		addEdge(t.S, t.O)
+		addEdge(t.O, t.S)
+	}
+	u := &Undirected{adj: make([][]kg.EntityID, n)}
+	for v, set := range sets {
+		nb := make([]kg.EntityID, 0, len(set))
+		for w := range set {
+			nb = append(nb, w)
+		}
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		u.adj[v] = nb
+	}
+	return u
+}
+
+// NumNodes returns the node count.
+func (u *Undirected) NumNodes() int { return len(u.adj) }
+
+// Neighbors returns v's sorted neighbour list. The caller must not modify it.
+func (u *Undirected) Neighbors(v kg.EntityID) []kg.EntityID { return u.adj[v] }
+
+// Degree returns the simple undirected degree of v.
+func (u *Undirected) Degree(v kg.EntityID) int { return len(u.adj[v]) }
+
+// HasEdge reports whether {a, b} is an edge, via binary search on a's list.
+func (u *Undirected) HasEdge(a, b kg.EntityID) bool {
+	nb := u.adj[a]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= b })
+	return i < len(nb) && nb[i] == b
+}
+
+// NumEdges returns the number of undirected edges.
+func (u *Undirected) NumEdges() int {
+	total := 0
+	for _, nb := range u.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// Triangles returns T(v) for every node: the number of edges among v's
+// neighbours, i.e. the number of triangles through v. Each triangle
+// {u, v, w} contributes exactly 1 to each of its three corners.
+//
+// Implementation: for every edge (a, b) with a < b, intersect the neighbour
+// lists of a and b considering only common neighbours w > b; every such w
+// closes a triangle counted exactly once, credited to all three corners.
+func (u *Undirected) Triangles() []int64 {
+	tri := make([]int64, len(u.adj))
+	for a := range u.adj {
+		av := kg.EntityID(a)
+		for _, b := range u.adj[a] {
+			if b <= av {
+				continue
+			}
+			// Merge-intersect adj[a] and adj[b], keeping w > b.
+			la, lb := u.adj[a], u.adj[b]
+			i := sort.Search(len(la), func(i int) bool { return la[i] > b })
+			j := sort.Search(len(lb), func(i int) bool { return lb[i] > b })
+			for i < len(la) && j < len(lb) {
+				switch {
+				case la[i] < lb[j]:
+					i++
+				case la[i] > lb[j]:
+					j++
+				default:
+					w := la[i]
+					tri[av]++
+					tri[b]++
+					tri[w]++
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return tri
+}
+
+// TrianglesNaive is the O(Σ deg³)-ish reference used by tests and the
+// ablation benchmark: for each node, test every neighbour pair for an edge.
+func (u *Undirected) TrianglesNaive() []int64 {
+	tri := make([]int64, len(u.adj))
+	for v := range u.adj {
+		nb := u.adj[v]
+		var count int64
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				if u.HasEdge(nb[i], nb[j]) {
+					count++
+				}
+			}
+		}
+		tri[v] = count
+	}
+	return tri
+}
+
+// LocalClustering returns c(v) = 2·T(v) / (deg(v)·(deg(v)−1)) for every
+// node, with c(v) = 0 when deg(v) < 2 (the NetworkX convention). tri may be
+// nil, in which case Triangles is computed internally.
+func (u *Undirected) LocalClustering(tri []int64) []float64 {
+	if tri == nil {
+		tri = u.Triangles()
+	}
+	c := make([]float64, len(u.adj))
+	for v := range u.adj {
+		d := len(u.adj[v])
+		if d < 2 {
+			continue
+		}
+		c[v] = 2 * float64(tri[v]) / (float64(d) * float64(d-1))
+	}
+	return c
+}
+
+// SquareClustering returns the squares clustering coefficient c₄(v) of every
+// node per Zhang et al. (2008), matching NetworkX's square_clustering:
+//
+//	c₄(v) = Σ_{u<w ∈ N(v)} q_v(u,w) / Σ_{u<w ∈ N(v)} [a_v(u,w) + q_v(u,w)]
+//
+// where q_v(u,w) is the number of common neighbours of u and w other than v
+// (actual squares) and a_v(u,w) counts the potential squares. This is the
+// deliberately expensive statistic the paper excluded from its main
+// experiments after a 54-hour run; the complexity lives here so the
+// exclusion experiment (repro squares / X1) can measure it.
+func (u *Undirected) SquareClustering() []float64 {
+	c := make([]float64, len(u.adj))
+	for v := range u.adj {
+		nb := u.adj[v]
+		var squares, potential float64
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				a, b := nb[i], nb[j]
+				q := u.commonNeighborsExcluding(a, b, kg.EntityID(v))
+				squares += float64(q)
+				degm := q + 1
+				if u.HasEdge(a, b) {
+					degm++
+				}
+				potential += float64(len(u.adj[a])-degm) + float64(len(u.adj[b])-degm) + float64(q)
+			}
+		}
+		if potential > 0 {
+			c[v] = squares / potential
+		}
+	}
+	return c
+}
+
+func (u *Undirected) commonNeighborsExcluding(a, b, excl kg.EntityID) int {
+	la, lb := u.adj[a], u.adj[b]
+	i, j, count := 0, 0, 0
+	for i < len(la) && j < len(lb) {
+		switch {
+		case la[i] < lb[j]:
+			i++
+		case la[i] > lb[j]:
+			j++
+		default:
+			if la[i] != excl {
+				count++
+			}
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input). The paper's
+// Figure 3 reports the average local clustering coefficient per dataset.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Histogram buckets xs into bins equal-width bins over [min, max] and
+// returns the bin edges (len bins+1) and counts (len bins). Used to render
+// Figure 3's distributions.
+func Histogram(xs []float64, bins int) (edges []float64, counts []int) {
+	if bins <= 0 || len(xs) == 0 {
+		return nil, nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = make([]float64, bins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(bins)
+	}
+	counts = make([]int, bins)
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	return edges, counts
+}
+
+// PearsonCorrelation returns the sample Pearson correlation of xs and ys.
+// Figure 5's argument is the *lack* of correlation between triangle counts
+// and clustering coefficients; we quantify it.
+func PearsonCorrelation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy))
+}

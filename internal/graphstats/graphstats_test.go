@@ -1,0 +1,303 @@
+package graphstats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kg"
+)
+
+// buildGraph creates a kg.Graph from undirected edge pairs (one arbitrary
+// relation, one direction per edge — the projection must undirect it).
+func buildGraph(t *testing.T, n int, edges [][2]int) *kg.Graph {
+	t.Helper()
+	g := kg.NewGraph()
+	for i := 0; i < n; i++ {
+		g.Entities.Intern(string(rune('a' + i)))
+	}
+	g.Relations.Intern("r")
+	for _, e := range edges {
+		g.Add(kg.Triple{S: kg.EntityID(e[0]), R: 0, O: kg.EntityID(e[1])})
+	}
+	return g
+}
+
+func TestBuildUndirectedBasics(t *testing.T) {
+	// a→b, b→a (parallel, must collapse), a→a (self-loop, dropped), b→c.
+	g := buildGraph(t, 3, [][2]int{{0, 1}, {1, 0}, {0, 0}, {1, 2}})
+	u := BuildUndirected(g)
+	if u.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", u.NumNodes())
+	}
+	if u.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 (parallel collapsed, self-loop dropped)", u.NumEdges())
+	}
+	if !u.HasEdge(0, 1) || !u.HasEdge(1, 0) {
+		t.Error("edge {a,b} missing or asymmetric")
+	}
+	if u.HasEdge(0, 0) {
+		t.Error("self-loop survived the projection")
+	}
+	if u.Degree(1) != 2 {
+		t.Errorf("Degree(b) = %d, want 2", u.Degree(1))
+	}
+}
+
+// triangleGraph: a 3-clique {0,1,2} plus a pendant node 3 attached to 0.
+func triangleGraph(t *testing.T) *Undirected {
+	g := buildGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	return BuildUndirected(g)
+}
+
+func TestTrianglesKnownGraph(t *testing.T) {
+	u := triangleGraph(t)
+	tri := u.Triangles()
+	want := []int64{1, 1, 1, 0}
+	for v, w := range want {
+		if tri[v] != w {
+			t.Errorf("T(%d) = %d, want %d", v, tri[v], w)
+		}
+	}
+}
+
+func TestLocalClusteringKnownGraph(t *testing.T) {
+	u := triangleGraph(t)
+	c := u.LocalClustering(nil)
+	// Node 0: deg 3, 1 triangle → 2·1/(3·2) = 1/3.
+	// Nodes 1,2: deg 2, 1 triangle → 2·1/(2·1) = 1.
+	// Node 3: deg 1 → 0 (convention).
+	want := []float64{1.0 / 3, 1, 1, 0}
+	for v, w := range want {
+		if math.Abs(c[v]-w) > 1e-12 {
+			t.Errorf("c(%d) = %g, want %g", v, c[v], w)
+		}
+	}
+}
+
+func TestClusteringStarGraphIsZero(t *testing.T) {
+	// Star: hub 0 connected to 1..4. The paper's §4.2.2 example — popular
+	// by degree, clustering coefficient 0.
+	g := buildGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	u := BuildUndirected(g)
+	c := u.LocalClustering(nil)
+	for v, cv := range c {
+		if cv != 0 {
+			t.Errorf("c(%d) = %g, want 0 in a star graph", v, cv)
+		}
+	}
+}
+
+func TestCompleteGraphClusteringIsOne(t *testing.T) {
+	var edges [][2]int
+	const n = 6
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	u := BuildUndirected(buildGraph(t, n, edges))
+	tri := u.Triangles()
+	// Each node of K6 is in C(5,2) = 10 triangles.
+	for v, tv := range tri {
+		if tv != 10 {
+			t.Errorf("T(%d) = %d, want 10 in K6", v, tv)
+		}
+	}
+	for v, cv := range u.LocalClustering(tri) {
+		if math.Abs(cv-1) > 1e-12 {
+			t.Errorf("c(%d) = %g, want 1 in K6", v, cv)
+		}
+	}
+}
+
+func TestSquareClusteringCycle4(t *testing.T) {
+	// C4: every node is in exactly one square and no potential others.
+	g := buildGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	u := BuildUndirected(g)
+	c4 := u.SquareClustering()
+	for v, cv := range c4 {
+		if math.Abs(cv-1) > 1e-12 {
+			t.Errorf("c4(%d) = %g, want 1 on a 4-cycle", v, cv)
+		}
+	}
+}
+
+func TestSquareClusteringTriangleIsZero(t *testing.T) {
+	g := buildGraph(t, 3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	u := BuildUndirected(g)
+	for v, cv := range u.SquareClustering() {
+		if cv != 0 {
+			t.Errorf("c4(%d) = %g, want 0 on a triangle", v, cv)
+		}
+	}
+}
+
+func TestSquareClusteringCompleteBipartite(t *testing.T) {
+	// K_{3,3}: for every node and neighbour pair, all potential squares are
+	// realized (each pair shares exactly the two other opposite-side nodes
+	// and has no further neighbours), so c4 = 1 — matching NetworkX.
+	var edges [][2]int
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	u := BuildUndirected(buildGraph(t, 6, edges))
+	for v, cv := range u.SquareClustering() {
+		if math.Abs(cv-1) > 1e-12 {
+			t.Errorf("c4(%d) = %g, want 1 in K33", v, cv)
+		}
+	}
+}
+
+// Property: optimized triangle counting agrees with the naive reference on
+// random graphs.
+func TestPropertyTrianglesMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		g := kg.NewGraph()
+		for i := 0; i < n; i++ {
+			g.Entities.Intern(string(rune('A' + i)))
+		}
+		g.Relations.Intern("r")
+		for _, e := range edges {
+			g.Add(kg.Triple{S: kg.EntityID(e[0]), R: 0, O: kg.EntityID(e[1])})
+		}
+		u := BuildUndirected(g)
+		fast := u.Triangles()
+		slow := u.TrianglesNaive()
+		for v := range fast {
+			if fast[v] != slow[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sum of T(v) over all nodes is three times the number of
+// triangles, hence divisible by 3.
+func TestPropertyTriangleSumDivisibleBy3(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(15)
+		g := kg.NewGraph()
+		for i := 0; i < n; i++ {
+			g.Entities.Intern(string(rune('A' + i)))
+		}
+		g.Relations.Intern("r")
+		for i := 0; i < n*3; i++ {
+			g.Add(kg.Triple{S: kg.EntityID(rng.Intn(n)), R: 0, O: kg.EntityID(rng.Intn(n))})
+		}
+		u := BuildUndirected(g)
+		var sum int64
+		for _, tv := range u.Triangles() {
+			sum += tv
+		}
+		return sum%3 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clustering coefficients lie in [0, 1].
+func TestPropertyClusteringInUnitInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(15)
+		g := kg.NewGraph()
+		for i := 0; i < n; i++ {
+			g.Entities.Intern(string(rune('A' + i)))
+		}
+		g.Relations.Intern("r")
+		for i := 0; i < n*2; i++ {
+			g.Add(kg.Triple{S: kg.EntityID(rng.Intn(n)), R: 0, O: kg.EntityID(rng.Intn(n))})
+		}
+		u := BuildUndirected(g)
+		for _, c := range u.LocalClustering(nil) {
+			if c < 0 || c > 1 {
+				return false
+			}
+		}
+		for _, c := range u.SquareClustering() {
+			if c < 0 || c > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.5, 0.9, 1.0}
+	edges, counts := Histogram(xs, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("edges %v counts %v", edges, counts)
+	}
+	if counts[0]+counts[1] != len(xs) {
+		t.Errorf("histogram loses mass: %v", counts)
+	}
+	// Bins over [0, 1]: [0, 0.5) and [0.5, 1]; 0.5 belongs to the second.
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Errorf("counts = %v, want [3 3]", counts)
+	}
+	if e, c := Histogram(nil, 3); e != nil || c != nil {
+		t.Error("Histogram(nil) should return nils")
+	}
+	// Degenerate constant input must not divide by zero.
+	if _, c := Histogram([]float64{5, 5, 5}, 4); c == nil || sum(c) != 3 {
+		t.Error("constant-input histogram broken")
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := PearsonCorrelation(x, x); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %g, want 1", got)
+	}
+	y := []float64{4, 3, 2, 1}
+	if got := PearsonCorrelation(x, y); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti correlation = %g, want -1", got)
+	}
+	if got := PearsonCorrelation(x, []float64{7, 7, 7, 7}); got != 0 {
+		t.Errorf("constant series correlation = %g, want 0", got)
+	}
+	if got := PearsonCorrelation(x, []float64{1}); got != 0 {
+		t.Errorf("length mismatch correlation = %g, want 0", got)
+	}
+}

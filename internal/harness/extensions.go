@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/kg"
+	"repro/internal/kge"
+	"repro/internal/train"
+)
+
+// This file hosts the two experiments that extend the paper's evaluation
+// along its own §4.2.2 and §6 discussion:
+//
+//   X2 — popularity-bias audit: the paper *hypothesizes* popularity bias to
+//        explain ENTITY FREQUENCY's outsized MRR with ConvE; the audit
+//        measures the bias (mean Spearman correlation between object scores
+//        and entity popularity) for every model on every dataset.
+//   X3 — hidden-fact recovery: the paper notes no evaluation protocol
+//        exists for fact discovery; this experiment applies the
+//        hide-and-recover protocol from internal/eval to every strategy.
+
+// BiasRecord is one cell of the popularity-bias audit.
+type BiasRecord struct {
+	Dataset      string
+	Model        string
+	MeanSpearman float64
+}
+
+// BiasAudit measures popularity bias for every configured model on every
+// dataset and renders the table.
+func (r *Runner) BiasAudit(ctx context.Context, w io.Writer, outDir string) ([]BiasRecord, error) {
+	var records []BiasRecord
+	var rows [][]string
+	for _, dsName := range DatasetNames() {
+		ds, err := r.Dataset(dsName)
+		if err != nil {
+			return nil, err
+		}
+		for _, modelName := range r.Cfg.Models {
+			m, err := r.Model(ctx, dsName, modelName)
+			if err != nil {
+				return nil, err
+			}
+			rep := eval.PopularityBias(m, ds.Train, 60, r.Cfg.Seed)
+			rec := BiasRecord{Dataset: dsName, Model: modelName, MeanSpearman: rep.MeanSpearman}
+			records = append(records, rec)
+			rows = append(rows, []string{dsName, modelName, fmt.Sprintf("%.4f", rec.MeanSpearman)})
+			r.logf("bias %-13s %-9s spearman=%.4f", dsName, modelName, rec.MeanSpearman)
+		}
+	}
+	fmt.Fprintln(w, "Popularity-bias audit (§4.2.2): mean Spearman correlation between object")
+	fmt.Fprintln(w, "scores and entity popularity; higher = stronger popularity bias.")
+	fmt.Fprintln(w)
+	RenderTable(w, []string{"dataset", "model", "mean Spearman"}, rows)
+	if outDir != "" {
+		if err := WriteCSV(filepath.Join(outDir, "bias_audit.csv"),
+			[]string{"dataset", "model", "mean_spearman"}, rows); err != nil {
+			return nil, err
+		}
+	}
+	return records, nil
+}
+
+// RecoveryRecord is one strategy's hidden-fact recovery result.
+type RecoveryRecord struct {
+	Strategy      string
+	Facts         int
+	Recall        float64
+	KnownTrueRate float64
+	Runtime       time.Duration
+}
+
+// RecoveryProtocol runs the hidden-fact recovery evaluation on
+// fb15k237-sim: hide a fraction of the training facts, train a fresh model
+// on the remainder, discover with every strategy (paper's five plus the
+// exploration extensions), and score each against the hidden set.
+func (r *Runner) RecoveryProtocol(ctx context.Context, w io.Writer, outDir string) ([]RecoveryRecord, error) {
+	ds, err := r.Dataset("fb15k237-sim")
+	if err != nil {
+		return nil, err
+	}
+	visible, hidden := eval.HideFacts(ds.Train, 0.15, r.Cfg.Seed)
+	r.logf("recovery: %d visible, %d hidden", visible.Len(), hidden.Len())
+
+	model, err := kge.New("distmult", kge.Config{
+		NumEntities:  ds.Train.Entities.Len(),
+		NumRelations: ds.Train.Relations.Len(),
+		Dim:          r.Cfg.Dim,
+		Seed:         r.Cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	holdout := &kg.Dataset{Name: "recovery", Train: visible,
+		Valid: kg.NewGraphWithDicts(ds.Train.Entities, ds.Train.Relations),
+		Test:  kg.NewGraphWithDicts(ds.Train.Entities, ds.Train.Relations)}
+	if _, err := train.Run(ctx, model, holdout, train.Config{
+		Epochs:     r.Cfg.Epochs,
+		BatchSize:  256,
+		NegSamples: 4,
+		Seed:       r.Cfg.Seed,
+	}); err != nil {
+		return nil, err
+	}
+
+	strategies := append(append([]string{}, r.Cfg.Strategies...), core.ExtensionStrategyNames()...)
+	var records []RecoveryRecord
+	var rows [][]string
+	for _, name := range strategies {
+		strategy, err := core.ExtendedStrategyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.DiscoverFacts(ctx, model, visible, strategy, core.Options{
+			TopN:          r.Cfg.TopN,
+			MaxCandidates: r.Cfg.MaxCandidates,
+			Seed:          r.Cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ranked := make([]eval.RankedFact, len(res.Facts))
+		for i, f := range res.Facts {
+			ranked[i] = eval.RankedFact{Triple: f.Triple, Rank: f.Rank}
+		}
+		rep := eval.EvaluateDiscovery(ranked, hidden)
+		rec := RecoveryRecord{
+			Strategy:      name,
+			Facts:         len(res.Facts),
+			Recall:        rep.Recall,
+			KnownTrueRate: rep.KnownTrueRate,
+			Runtime:       res.Stats.Total,
+		}
+		records = append(records, rec)
+		rows = append(rows, []string{name, fmt.Sprintf("%d", rec.Facts),
+			fmt.Sprintf("%.4f", rec.Recall), fmt.Sprintf("%.4f", rec.KnownTrueRate),
+			fmt.Sprintf("%.3f", rec.Runtime.Seconds())})
+		r.logf("recovery %-20s facts=%-6d recall=%.4f known-true=%.4f", name, rec.Facts, rec.Recall, rec.KnownTrueRate)
+	}
+	fmt.Fprintln(w, "Hidden-fact recovery protocol (§6): 15% of fb15k237-sim hidden before")
+	fmt.Fprintln(w, "training; recall = fraction of hidden facts rediscovered.")
+	fmt.Fprintln(w)
+	RenderTable(w, []string{"strategy", "facts", "recall", "known-true rate", "runtime (s)"}, rows)
+	if outDir != "" {
+		if err := WriteCSV(filepath.Join(outDir, "recovery_protocol.csv"),
+			[]string{"strategy", "facts", "recall", "known_true_rate", "runtime_seconds"}, rows); err != nil {
+			return nil, err
+		}
+	}
+	return records, nil
+}

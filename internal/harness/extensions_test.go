@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestBiasAudit(t *testing.T) {
+	r := testRunner(t)
+	var buf bytes.Buffer
+	records, err := r.BiasAudit(context.Background(), &buf, "")
+	if err != nil {
+		t.Fatalf("BiasAudit: %v", err)
+	}
+	want := 4 * len(r.Cfg.Models)
+	if len(records) != want {
+		t.Fatalf("records = %d, want %d", len(records), want)
+	}
+	for _, rec := range records {
+		if rec.MeanSpearman < -1 || rec.MeanSpearman > 1 {
+			t.Errorf("%s/%s: Spearman %g outside [-1, 1]", rec.Dataset, rec.Model, rec.MeanSpearman)
+		}
+	}
+	if !strings.Contains(buf.String(), "Spearman") {
+		t.Error("bias output missing header")
+	}
+}
+
+func TestModelQuality(t *testing.T) {
+	r := testRunner(t)
+	var buf bytes.Buffer
+	records, err := r.ModelQuality(context.Background(), &buf, "")
+	if err != nil {
+		t.Fatalf("ModelQuality: %v", err)
+	}
+	if len(records) != 4*len(r.Cfg.Models) {
+		t.Fatalf("records = %d, want %d", len(records), 4*len(r.Cfg.Models))
+	}
+	for _, rec := range records {
+		if rec.MRR < 0 || rec.MRR > 1 || rec.Hits10 < rec.Hits1 {
+			t.Errorf("%s/%s: implausible metrics %+v", rec.Dataset, rec.Model, rec)
+		}
+	}
+	if !strings.Contains(buf.String(), "Hits@10") {
+		t.Error("quality output missing header")
+	}
+}
+
+func TestRecoveryProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	r := testRunner(t)
+	var buf bytes.Buffer
+	records, err := r.RecoveryProtocol(context.Background(), &buf, t.TempDir())
+	if err != nil {
+		t.Fatalf("RecoveryProtocol: %v", err)
+	}
+	// Paper's strategies (from the runner config) plus the two extensions.
+	want := len(r.Cfg.Strategies) + 2
+	if len(records) != want {
+		t.Fatalf("records = %d, want %d", len(records), want)
+	}
+	for _, rec := range records {
+		if rec.Recall < 0 || rec.Recall > 1 {
+			t.Errorf("%s: recall %g outside [0, 1]", rec.Strategy, rec.Recall)
+		}
+		if rec.KnownTrueRate < 0 || rec.KnownTrueRate > 1 {
+			t.Errorf("%s: known-true rate %g outside [0, 1]", rec.Strategy, rec.KnownTrueRate)
+		}
+	}
+	if !strings.Contains(buf.String(), "recovery") {
+		t.Error("recovery output missing header")
+	}
+}

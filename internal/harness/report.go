@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// RenderTable writes an aligned ASCII table.
+func RenderTable(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// WriteCSV writes headers+rows to path, creating parent directories.
+func WriteCSV(path string, headers []string, rows [][]string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(f)
+	if err := cw.Write(headers); err != nil {
+		f.Close()
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RenderBars writes a simple horizontal bar chart: one line per (label,
+// value), scaled so the largest value spans width characters. It is the
+// terminal stand-in for the paper's bar figures.
+func RenderBars(w io.Writer, title string, labels []string, values []float64, unit string) {
+	fmt.Fprintln(w, title)
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	const width = 46
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * width)
+		}
+		fmt.Fprintf(w, "  %-*s %s %.4g %s\n", maxL, labels[i], strings.Repeat("█", n), v, unit)
+	}
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kg"
+)
+
+// SweepRecord is one cell of the main comparative sweep (one dataset ×
+// model × strategy discovery run). Figures 2, 4 and 6 are three projections
+// of the same sweep: runtime, MRR and efficiency.
+type SweepRecord struct {
+	Dataset  string
+	Model    string
+	Strategy string
+
+	Runtime      time.Duration
+	WeightTime   time.Duration
+	GenerateTime time.Duration
+	RankTime     time.Duration
+
+	Generated    int
+	Facts        int
+	MRR          float64
+	FactsPerHour float64
+}
+
+// RunSweep executes the full dataset × model × strategy sweep with the
+// configured TopN and MaxCandidates, returning one record per combination
+// in deterministic order (datasets, then models, then strategies).
+func (r *Runner) RunSweep(ctx context.Context) ([]SweepRecord, error) {
+	var records []SweepRecord
+	for _, dsName := range DatasetNames() {
+		ds, err := r.Dataset(dsName)
+		if err != nil {
+			return nil, err
+		}
+		for _, modelName := range r.Cfg.Models {
+			// Train (or fetch) the model up front so discovery timing below
+			// excludes training.
+			if _, err := r.Model(ctx, dsName, modelName); err != nil {
+				return nil, err
+			}
+			for _, stratName := range r.Cfg.Strategies {
+				rec, err := r.runDiscovery(ctx, dsName, modelName, stratName, ds.Train)
+				if err != nil {
+					return nil, err
+				}
+				records = append(records, rec)
+				r.logf("sweep %-13s %-9s %-20s facts=%-5d MRR=%.4f  %8s  %10.0f facts/h",
+					dsName, modelName, stratName, rec.Facts, rec.MRR,
+					rec.Runtime.Round(time.Millisecond), rec.FactsPerHour)
+			}
+		}
+	}
+	return records, nil
+}
+
+// runDiscovery executes one discovery run and converts it to a SweepRecord.
+func (r *Runner) runDiscovery(ctx context.Context, dsName, modelName, stratName string, g *kg.Graph) (SweepRecord, error) {
+	model, err := r.Model(ctx, dsName, modelName)
+	if err != nil {
+		return SweepRecord{}, err
+	}
+	strategy, err := core.StrategyByName(stratName)
+	if err != nil {
+		return SweepRecord{}, err
+	}
+	res, err := core.DiscoverFacts(ctx, model, g, strategy, core.Options{
+		TopN:          r.effectiveTopN(g.NumEntities()),
+		MaxCandidates: r.Cfg.MaxCandidates,
+		Seed:          r.Cfg.Seed,
+	})
+	if err != nil {
+		return SweepRecord{}, fmt.Errorf("harness: discover %s/%s/%s: %w", dsName, modelName, stratName, err)
+	}
+	return SweepRecord{
+		Dataset:      dsName,
+		Model:        modelName,
+		Strategy:     stratName,
+		Runtime:      res.Stats.Total,
+		WeightTime:   res.Stats.WeightTime,
+		GenerateTime: res.Stats.GenerateTime,
+		RankTime:     res.Stats.RankTime,
+		Generated:    res.Stats.Generated,
+		Facts:        len(res.Facts),
+		MRR:          res.MRR(),
+		FactsPerHour: res.Stats.FactsPerHour(len(res.Facts)),
+	}, nil
+}
+
+// effectiveTopN resolves the rank threshold for a dataset with numEntities
+// entities: TopNFraction-scaled when configured, the absolute TopN
+// otherwise.
+func (r *Runner) effectiveTopN(numEntities int) int {
+	if r.Cfg.TopNFraction > 0 {
+		tn := int(r.Cfg.TopNFraction * float64(numEntities))
+		if tn < 1 {
+			tn = 1
+		}
+		return tn
+	}
+	return r.Cfg.TopN
+}
+
+// GridRecord is one cell of the hyperparameter grid of §4.3 (Figures 7–10):
+// FB15K-237(-sim) with TransE, sweeping top_n × max_candidates for one
+// strategy.
+type GridRecord struct {
+	Strategy      string
+	TopN          int
+	MaxCandidates int
+
+	Runtime      time.Duration
+	Facts        int
+	MRR          float64
+	FactsPerHour float64
+}
+
+// GridTopNs and GridMaxCandidates are the grid-search values from §4.3.1.
+func GridTopNs() []int         { return []int{100, 200, 300, 400, 500, 700} }
+func GridMaxCandidates() []int { return []int{50, 100, 200, 300, 400, 500, 700} }
+
+// RunGrid runs the hyperparameter grid for one strategy on FB15K-237-sim
+// with TransE. Every (top_n, max_candidates) cell is a full, independently
+// timed discovery run, exactly as the paper's grid search did.
+func (r *Runner) RunGrid(ctx context.Context, stratName string, topNs, maxCands []int) ([]GridRecord, error) {
+	const dsName = "fb15k237-sim"
+	const modelName = "transe"
+	ds, err := r.Dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	model, err := r.Model(ctx, dsName, modelName)
+	if err != nil {
+		return nil, err
+	}
+	if topNs == nil {
+		topNs = GridTopNs()
+	}
+	if maxCands == nil {
+		maxCands = GridMaxCandidates()
+	}
+	var records []GridRecord
+	for _, topN := range topNs {
+		for _, mc := range maxCands {
+			strategy, err := core.StrategyByName(stratName)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.DiscoverFacts(ctx, model, ds.Train, strategy, core.Options{
+				TopN:          topN,
+				MaxCandidates: mc,
+				Seed:          r.Cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rec := GridRecord{
+				Strategy:      stratName,
+				TopN:          topN,
+				MaxCandidates: mc,
+				Runtime:       res.Stats.Total,
+				Facts:         len(res.Facts),
+				MRR:           res.MRR(),
+				FactsPerHour:  res.Stats.FactsPerHour(len(res.Facts)),
+			}
+			records = append(records, rec)
+			r.logf("grid %-20s top_n=%-4d max_cand=%-4d facts=%-5d MRR=%.4f %8s",
+				stratName, topN, mc, rec.Facts, rec.MRR, rec.Runtime.Round(time.Millisecond))
+		}
+	}
+	return records, nil
+}

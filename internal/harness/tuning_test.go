@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestGridSearchFindsBest(t *testing.T) {
+	ds, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	results, best, err := GridSearch(context.Background(), "distmult", ds, TuneSpace{
+		Dims:          []int{8, 16},
+		LearningRates: []float64{0.05},
+	}, 5, 1, &log)
+	if err != nil {
+		t.Fatalf("GridSearch: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	if best == nil {
+		t.Fatal("no best model returned")
+	}
+	// The best model's validation MRR equals the max across grid points.
+	maxMRR := -1.0
+	for _, r := range results {
+		if r.ValidMRR > maxMRR {
+			maxMRR = r.ValidMRR
+		}
+		if r.TrainTime <= 0 {
+			t.Error("grid point missing timing")
+		}
+	}
+	if maxMRR < 0 {
+		t.Error("no valid MRR measured")
+	}
+	if !strings.Contains(log.String(), "tune") {
+		t.Error("progress log empty")
+	}
+}
+
+func TestGridSearchDefaultsToSinglePoint(t *testing.T) {
+	ds, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, best, err := GridSearch(context.Background(), "transe", ds, TuneSpace{}, 3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("zero TuneSpace produced %d points, want 1", len(results))
+	}
+	if best == nil {
+		t.Fatal("no model")
+	}
+}
+
+func TestGridSearchErrors(t *testing.T) {
+	ds, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := GridSearch(context.Background(), "bogus", ds, TuneSpace{}, 2, 1, nil); err == nil {
+		t.Error("accepted unknown model")
+	}
+	if _, _, err := GridSearch(context.Background(), "transe", ds, TuneSpace{Losses: []string{"bogus"}}, 2, 1, nil); err == nil {
+		t.Error("accepted unknown loss")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := GridSearch(ctx, "transe", ds, TuneSpace{}, 2, 1, nil); err == nil {
+		t.Error("ignored cancelled context")
+	}
+}
+
+func TestTuneResultDescribe(t *testing.T) {
+	r := TuneResult{Dim: 8, LearningRate: 0.1, NegSamples: 2, L2: 0.01}
+	s := r.Describe()
+	if !strings.Contains(s, "dim=8") || !strings.Contains(s, "loss=default") {
+		t.Errorf("Describe = %q", s)
+	}
+}

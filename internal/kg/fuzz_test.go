@@ -1,0 +1,40 @@
+package kg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV checks that the TSV parser never panics and that every graph
+// it accepts round-trips through WriteTSV with identical fact content.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("a\tr\tb\n")
+	f.Add("a\tr\tb\nb\tr\tc\n# comment\n\n")
+	f.Add("x\ty\n")
+	f.Add("a\tb\tc\td\n")
+	f.Add(strings.Repeat("e\tr\te\n", 50))
+	f.Add("\t\t\n")
+	f.Add("ünïcødé\t→\t日本語\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		g := NewGraph()
+		if _, err := ReadTSV(g, strings.NewReader(input)); err != nil {
+			return // malformed input is fine as long as it does not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(g, &buf); err != nil {
+			t.Fatalf("WriteTSV after successful parse: %v", err)
+		}
+		// Names containing newlines/tabs are impossible here (TSV fields
+		// cannot contain the separators), so the round trip must preserve
+		// the triple count exactly.
+		g2 := NewGraph()
+		if _, err := ReadTSV(g2, &buf); err != nil {
+			t.Fatalf("re-parse of written TSV failed: %v", err)
+		}
+		if g2.Len() != g.Len() {
+			t.Fatalf("roundtrip changed triple count: %d -> %d", g.Len(), g2.Len())
+		}
+	})
+}

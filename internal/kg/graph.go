@@ -1,0 +1,228 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an indexed, in-memory triple store. It maintains, besides the
+// triple list itself:
+//
+//   - O(1) membership testing (needed to filter "seen" triples during both
+//     fact discovery and filtered ranking),
+//   - a by-relation index (the discovery algorithm iterates per relation),
+//   - per-relation unique subject/object lists with occurrence counts (the
+//     inputs to the UNIFORM RANDOM and ENTITY FREQUENCY strategies),
+//   - global per-entity subject/object/total occurrence counts.
+//
+// A Graph is cheap to query concurrently once built; mutation (Add) is not
+// safe for concurrent use.
+type Graph struct {
+	Entities  *Dict
+	Relations *Dict
+
+	triples []Triple
+	set     map[Triple]struct{}
+
+	byRelation map[RelationID][]Triple
+
+	subjectCount []int64 // per entity: appearances as subject
+	objectCount  []int64 // per entity: appearances as object
+
+	dirty bool // per-relation side tables need rebuilding
+
+	relSubjects map[RelationID][]EntityID // unique subjects per relation, sorted
+	relObjects  map[RelationID][]EntityID // unique objects per relation, sorted
+
+	relSubjectCount map[RelationID]map[EntityID]int64
+	relObjectCount  map[RelationID]map[EntityID]int64
+}
+
+// NewGraph returns an empty graph with fresh entity and relation dictionaries.
+func NewGraph() *Graph {
+	return NewGraphWithDicts(NewDict(), NewDict())
+}
+
+// NewGraphWithDicts returns an empty graph sharing the given dictionaries.
+// Splits of one dataset share dictionaries so IDs agree across splits.
+func NewGraphWithDicts(entities, relations *Dict) *Graph {
+	return &Graph{
+		Entities:   entities,
+		Relations:  relations,
+		set:        make(map[Triple]struct{}),
+		byRelation: make(map[RelationID][]Triple),
+	}
+}
+
+// Add inserts t if not already present and reports whether it was inserted.
+func (g *Graph) Add(t Triple) bool {
+	if _, ok := g.set[t]; ok {
+		return false
+	}
+	g.set[t] = struct{}{}
+	g.triples = append(g.triples, t)
+	g.byRelation[t.R] = append(g.byRelation[t.R], t)
+	g.bump(&g.subjectCount, t.S)
+	g.bump(&g.objectCount, t.O)
+	g.dirty = true
+	return true
+}
+
+func (g *Graph) bump(counts *[]int64, e EntityID) {
+	for int(e) >= len(*counts) {
+		*counts = append(*counts, 0)
+	}
+	(*counts)[e]++
+}
+
+// AddNamed interns the names and inserts the resulting triple, returning it.
+func (g *Graph) AddNamed(s, r, o string) Triple {
+	t := Triple{
+		S: EntityID(g.Entities.Intern(s)),
+		R: RelationID(g.Relations.Intern(r)),
+		O: EntityID(g.Entities.Intern(o)),
+	}
+	g.Add(t)
+	return t
+}
+
+// Contains reports whether t is a fact of the graph.
+func (g *Graph) Contains(t Triple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
+// Len returns the number of triples M = |G|.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// NumEntities returns N = |E| (as interned in the shared entity dictionary).
+func (g *Graph) NumEntities() int { return g.Entities.Len() }
+
+// NumRelations returns K = |R|.
+func (g *Graph) NumRelations() int { return g.Relations.Len() }
+
+// Triples returns the backing triple slice in insertion order. The caller
+// must not modify it.
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// RelationTriples returns all triples with relation r. The caller must not
+// modify the returned slice.
+func (g *Graph) RelationTriples(r RelationID) []Triple { return g.byRelation[r] }
+
+// RelationIDs returns the IDs of all relations that occur in at least one
+// triple, in ascending order. Note this may be a subset of the dictionary if
+// the dictionary is shared with other splits.
+func (g *Graph) RelationIDs() []RelationID {
+	out := make([]RelationID, 0, len(g.byRelation))
+	for r := range g.byRelation {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SubjectCount returns how many triples have e as subject.
+func (g *Graph) SubjectCount(e EntityID) int64 {
+	if int(e) >= len(g.subjectCount) {
+		return 0
+	}
+	return g.subjectCount[e]
+}
+
+// ObjectCount returns how many triples have e as object.
+func (g *Graph) ObjectCount(e EntityID) int64 {
+	if int(e) >= len(g.objectCount) {
+		return 0
+	}
+	return g.objectCount[e]
+}
+
+// Degree returns the total degree of e: in-degree plus out-degree, counting
+// every triple incident to e once per position (self-loops count twice, once
+// per side), matching the paper's deg(x) = in + out.
+func (g *Graph) Degree(e EntityID) int64 {
+	return g.SubjectCount(e) + g.ObjectCount(e)
+}
+
+func (g *Graph) rebuildSideTables() {
+	if !g.dirty && g.relSubjects != nil {
+		return
+	}
+	g.relSubjects = make(map[RelationID][]EntityID, len(g.byRelation))
+	g.relObjects = make(map[RelationID][]EntityID, len(g.byRelation))
+	g.relSubjectCount = make(map[RelationID]map[EntityID]int64, len(g.byRelation))
+	g.relObjectCount = make(map[RelationID]map[EntityID]int64, len(g.byRelation))
+	for r, ts := range g.byRelation {
+		sc := make(map[EntityID]int64)
+		oc := make(map[EntityID]int64)
+		for _, t := range ts {
+			sc[t.S]++
+			oc[t.O]++
+		}
+		g.relSubjectCount[r] = sc
+		g.relObjectCount[r] = oc
+		g.relSubjects[r] = sortedKeys(sc)
+		g.relObjects[r] = sortedKeys(oc)
+	}
+	g.dirty = false
+}
+
+func sortedKeys(m map[EntityID]int64) []EntityID {
+	out := make([]EntityID, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SideEntities returns the unique entities appearing on the given side of
+// relation r, in ascending ID order. The caller must not modify the slice.
+func (g *Graph) SideEntities(r RelationID, side Side) []EntityID {
+	g.rebuildSideTables()
+	if side == SubjectSide {
+		return g.relSubjects[r]
+	}
+	return g.relObjects[r]
+}
+
+// SideCount returns how many triples of relation r have e on the given side.
+func (g *Graph) SideCount(r RelationID, side Side, e EntityID) int64 {
+	g.rebuildSideTables()
+	if side == SubjectSide {
+		return g.relSubjectCount[r][e]
+	}
+	return g.relObjectCount[r][e]
+}
+
+// FormatTriple renders t with entity and relation names.
+func (g *Graph) FormatTriple(t Triple) string {
+	return fmt.Sprintf("(%s, %s, %s)",
+		g.Entities.Name(int32(t.S)), g.Relations.Name(int32(t.R)), g.Entities.Name(int32(t.O)))
+}
+
+// Clone returns a deep copy of the graph sharing no mutable state with g
+// except the (append-only) dictionaries.
+func (g *Graph) Clone() *Graph {
+	c := NewGraphWithDicts(g.Entities, g.Relations)
+	for _, t := range g.triples {
+		c.Add(t)
+	}
+	return c
+}
+
+// Merge adds all triples of other (which must share dictionaries) into a new
+// graph containing the union. It is used to build the "seen" filter set for
+// filtered ranking (train ∪ valid ∪ test).
+func Merge(graphs ...*Graph) *Graph {
+	if len(graphs) == 0 {
+		return NewGraph()
+	}
+	out := NewGraphWithDicts(graphs[0].Entities, graphs[0].Relations)
+	for _, g := range graphs {
+		for _, t := range g.Triples() {
+			out.Add(t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package kge
+
+import (
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// ComplEx (Trouillon et al., 2016) extends DistMult to complex-valued
+// embeddings, scoring with the real part of the Hermitian trilinear product:
+//
+//	f(s, r, o) = Re(⟨s, r, conj(o)⟩)
+//	           = Σₖ s_re·r_re·o_re + s_im·r_re·o_im + s_re·r_im·o_im − s_im·r_im·o_re
+//
+// The asymmetry introduced by the conjugate lets ComplEx model antisymmetric
+// relations, which DistMult cannot. Storage: each embedding is a single
+// float32 vector of length 2·Dim, real components first, imaginary second.
+type ComplEx struct {
+	cfg Config
+	ps  *ParamSet
+	ent *Param // N×2d
+	rel *Param // K×2d
+}
+
+// NewComplEx constructs and initializes a ComplEx model. cfg.Dim is the
+// number of complex components; the storage width is 2·Dim.
+func NewComplEx(cfg Config) (*ComplEx, error) {
+	m := &ComplEx{cfg: cfg, ps: NewParamSet()}
+	m.ent = m.ps.Add("entity", cfg.NumEntities, 2*cfg.Dim)
+	m.rel = m.ps.Add("relation", cfg.NumRelations, 2*cfg.Dim)
+	rng := initRNG(cfg)
+	for i := 0; i < cfg.NumEntities; i++ {
+		vecmath.XavierInit(rng, m.ent.M.Row(i), 2*cfg.Dim, 2*cfg.Dim)
+	}
+	for i := 0; i < cfg.NumRelations; i++ {
+		vecmath.XavierInit(rng, m.rel.M.Row(i), 2*cfg.Dim, 2*cfg.Dim)
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *ComplEx) Name() string { return "complex" }
+
+// Dim implements Model (the number of complex components).
+func (m *ComplEx) Dim() int { return m.cfg.Dim }
+
+// NumEntities implements Model.
+func (m *ComplEx) NumEntities() int { return m.cfg.NumEntities }
+
+// NumRelations implements Model.
+func (m *ComplEx) NumRelations() int { return m.cfg.NumRelations }
+
+// Params implements Trainable.
+func (m *ComplEx) Params() *ParamSet { return m.ps }
+
+// split views a 2d-length storage row as (real, imaginary) halves.
+func (m *ComplEx) split(row []float32) (re, im []float32) {
+	d := m.cfg.Dim
+	return row[:d], row[d:]
+}
+
+// Score implements Model.
+func (m *ComplEx) Score(t kg.Triple) float32 {
+	sre, sim := m.split(m.ent.M.Row(int(t.S)))
+	rre, rim := m.split(m.rel.M.Row(int(t.R)))
+	ore, oim := m.split(m.ent.M.Row(int(t.O)))
+	var f float32
+	for i := range sre {
+		f += sre[i]*rre[i]*ore[i] +
+			sim[i]*rre[i]*oim[i] +
+			sre[i]*rim[i]*oim[i] -
+			sim[i]*rim[i]*ore[i]
+	}
+	return f
+}
+
+// ScoreWithContext implements Trainable.
+func (m *ComplEx) ScoreWithContext(t kg.Triple) (float32, GradContext) {
+	return m.Score(t), nil
+}
+
+// ScoreAllObjects implements Model. The score is linear in o, with
+//
+//	q_re = s_re∘r_re − s_im∘r_im   (coefficient of o_re)
+//	q_im = s_im∘r_re + s_re∘r_im   (coefficient of o_im)
+//
+// so the object sweep is a single matrix-vector product over the 2d storage.
+func (m *ComplEx) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	d := m.cfg.Dim
+	sre, sim := m.split(m.ent.M.Row(int(s)))
+	rre, rim := m.split(m.rel.M.Row(int(r)))
+	q := make([]float32, 2*d)
+	for i := 0; i < d; i++ {
+		q[i] = sre[i]*rre[i] - sim[i]*rim[i]
+		q[d+i] = sim[i]*rre[i] + sre[i]*rim[i]
+	}
+	return m.ent.M.MulVec(out, q)
+}
+
+// ScoreAllSubjects implements Model: linear in s with
+//
+//	q_re = r_re∘o_re + r_im∘o_im
+//	q_im = r_re∘o_im − r_im∘o_re
+func (m *ComplEx) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	d := m.cfg.Dim
+	rre, rim := m.split(m.rel.M.Row(int(r)))
+	ore, oim := m.split(m.ent.M.Row(int(o)))
+	q := make([]float32, 2*d)
+	for i := 0; i < d; i++ {
+		q[i] = rre[i]*ore[i] + rim[i]*oim[i]
+		q[d+i] = rre[i]*oim[i] - rim[i]*ore[i]
+	}
+	return m.ent.M.MulVec(out, q)
+}
+
+// AccumulateGrad implements Trainable with the partial derivatives of the
+// four-term score expansion.
+func (m *ComplEx) AccumulateGrad(t kg.Triple, _ GradContext, upstream float32, gb *GradBuffer) {
+	d := m.cfg.Dim
+	sre, sim := m.split(m.ent.M.Row(int(t.S)))
+	rre, rim := m.split(m.rel.M.Row(int(t.R)))
+	ore, oim := m.split(m.ent.M.Row(int(t.O)))
+	gs := gb.Row("entity", int(t.S))
+	gr := gb.Row("relation", int(t.R))
+	go_ := gb.Row("entity", int(t.O))
+	for i := 0; i < d; i++ {
+		gs[i] += upstream * (rre[i]*ore[i] + rim[i]*oim[i])
+		gs[d+i] += upstream * (rre[i]*oim[i] - rim[i]*ore[i])
+		gr[i] += upstream * (sre[i]*ore[i] + sim[i]*oim[i])
+		gr[d+i] += upstream * (sre[i]*oim[i] - sim[i]*ore[i])
+		go_[i] += upstream * (sre[i]*rre[i] - sim[i]*rim[i])
+		go_[d+i] += upstream * (sim[i]*rre[i] + sre[i]*rim[i])
+	}
+}
+
+// PostBatch implements Trainable (no constraints).
+func (m *ComplEx) PostBatch() {}

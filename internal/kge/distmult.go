@@ -1,0 +1,100 @@
+package kge
+
+import (
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// DistMult (Yang et al., 2014) is the diagonal restriction of RESCAL: each
+// relation is a diagonal matrix, giving the trilinear scoring function
+// f(s, r, o) = sᵀ diag(r) o = Σᵢ sᵢ rᵢ oᵢ. The diagonality makes every
+// relation symmetric — a known expressiveness limit the paper notes.
+type DistMult struct {
+	cfg Config
+	ps  *ParamSet
+	ent *Param
+	rel *Param
+}
+
+// NewDistMult constructs and initializes a DistMult model.
+func NewDistMult(cfg Config) (*DistMult, error) {
+	m := &DistMult{cfg: cfg, ps: NewParamSet()}
+	m.ent = m.ps.Add("entity", cfg.NumEntities, cfg.Dim)
+	m.rel = m.ps.Add("relation", cfg.NumRelations, cfg.Dim)
+	rng := initRNG(cfg)
+	for i := 0; i < cfg.NumEntities; i++ {
+		vecmath.XavierInit(rng, m.ent.M.Row(i), cfg.Dim, cfg.Dim)
+	}
+	for i := 0; i < cfg.NumRelations; i++ {
+		vecmath.XavierInit(rng, m.rel.M.Row(i), cfg.Dim, cfg.Dim)
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *DistMult) Name() string { return "distmult" }
+
+// Dim implements Model.
+func (m *DistMult) Dim() int { return m.cfg.Dim }
+
+// NumEntities implements Model.
+func (m *DistMult) NumEntities() int { return m.cfg.NumEntities }
+
+// NumRelations implements Model.
+func (m *DistMult) NumRelations() int { return m.cfg.NumRelations }
+
+// Params implements Trainable.
+func (m *DistMult) Params() *ParamSet { return m.ps }
+
+// Score implements Model.
+func (m *DistMult) Score(t kg.Triple) float32 {
+	s := m.ent.M.Row(int(t.S))
+	r := m.rel.M.Row(int(t.R))
+	o := m.ent.M.Row(int(t.O))
+	var f float32
+	for i := range s {
+		f += s[i] * r[i] * o[i]
+	}
+	return f
+}
+
+// ScoreWithContext implements Trainable.
+func (m *DistMult) ScoreWithContext(t kg.Triple) (float32, GradContext) {
+	return m.Score(t), nil
+}
+
+// ScoreAllObjects implements Model: with q = s∘r, scores = E·q.
+func (m *DistMult) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	q := make([]float32, m.cfg.Dim)
+	vecmath.Hadamard(q, m.ent.M.Row(int(s)), m.rel.M.Row(int(r)))
+	return m.ent.M.MulVec(out, q)
+}
+
+// ScoreAllSubjects implements Model: by symmetry q = r∘o, scores = E·q.
+func (m *DistMult) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	q := make([]float32, m.cfg.Dim)
+	vecmath.Hadamard(q, m.rel.M.Row(int(r)), m.ent.M.Row(int(o)))
+	return m.ent.M.MulVec(out, q)
+}
+
+// AccumulateGrad implements Trainable:
+//
+//	∂f/∂s = r∘o, ∂f/∂r = s∘o, ∂f/∂o = s∘r.
+func (m *DistMult) AccumulateGrad(t kg.Triple, _ GradContext, upstream float32, gb *GradBuffer) {
+	s := m.ent.M.Row(int(t.S))
+	r := m.rel.M.Row(int(t.R))
+	o := m.ent.M.Row(int(t.O))
+	gs := gb.Row("entity", int(t.S))
+	gr := gb.Row("relation", int(t.R))
+	go_ := gb.Row("entity", int(t.O))
+	for i := range s {
+		gs[i] += upstream * r[i] * o[i]
+		gr[i] += upstream * s[i] * o[i]
+		go_[i] += upstream * s[i] * r[i]
+	}
+}
+
+// PostBatch implements Trainable (no constraints).
+func (m *DistMult) PostBatch() {}

@@ -1,0 +1,104 @@
+package kge
+
+import (
+	"repro/internal/fft"
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// HolE (Nickel et al., 2016) scores a triple with circular correlation,
+// inspired by holographic associative memory:
+//
+//	f(s, r, o) = rᵀ (s ⋆ o),   (s ⋆ o)[k] = Σᵢ sᵢ · o₍ᵢ₊ₖ₎ mod l
+//
+// Correlation compresses the pairwise interaction matrix s·oᵀ into a single
+// l-vector, giving RESCAL-like interactions at DistMult-like cost. When l
+// is a power of two the internal/fft fast path computes ⋆ in O(l log l).
+// HolE is equivalent to ComplEx up to a change of basis (Hayashi & Shimbo,
+// 2017) — a fact the test suite exploits as a sanity property.
+type HolE struct {
+	cfg Config
+	ps  *ParamSet
+	ent *Param
+	rel *Param
+}
+
+// NewHolE constructs and initializes a HolE model.
+func NewHolE(cfg Config) (*HolE, error) {
+	m := &HolE{cfg: cfg, ps: NewParamSet()}
+	m.ent = m.ps.Add("entity", cfg.NumEntities, cfg.Dim)
+	m.rel = m.ps.Add("relation", cfg.NumRelations, cfg.Dim)
+	rng := initRNG(cfg)
+	for i := 0; i < cfg.NumEntities; i++ {
+		vecmath.XavierInit(rng, m.ent.M.Row(i), cfg.Dim, cfg.Dim)
+	}
+	for i := 0; i < cfg.NumRelations; i++ {
+		vecmath.XavierInit(rng, m.rel.M.Row(i), cfg.Dim, cfg.Dim)
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *HolE) Name() string { return "hole" }
+
+// Dim implements Model.
+func (m *HolE) Dim() int { return m.cfg.Dim }
+
+// NumEntities implements Model.
+func (m *HolE) NumEntities() int { return m.cfg.NumEntities }
+
+// NumRelations implements Model.
+func (m *HolE) NumRelations() int { return m.cfg.NumRelations }
+
+// Params implements Trainable.
+func (m *HolE) Params() *ParamSet { return m.ps }
+
+// Score implements Model.
+func (m *HolE) Score(t kg.Triple) float32 {
+	s := m.ent.M.Row(int(t.S))
+	r := m.rel.M.Row(int(t.R))
+	o := m.ent.M.Row(int(t.O))
+	corr := make([]float32, m.cfg.Dim)
+	fft.CircularCorrelation(corr, s, o)
+	return vecmath.Dot(r, corr)
+}
+
+// ScoreWithContext implements Trainable.
+func (m *HolE) ScoreWithContext(t kg.Triple) (float32, GradContext) {
+	return m.Score(t), nil
+}
+
+// ScoreAllObjects implements Model. f is linear in o: f = o·(r * s) where *
+// is circular convolution, so q = convolve(r, s) and scores = E·q.
+func (m *HolE) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	q := make([]float32, m.cfg.Dim)
+	fft.Convolve(q, m.rel.M.Row(int(r)), m.ent.M.Row(int(s)))
+	return m.ent.M.MulVec(out, q)
+}
+
+// ScoreAllSubjects implements Model. f is linear in s: f = s·(r ⋆ o), so
+// q = correlate(r, o) and scores = E·q.
+func (m *HolE) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	q := make([]float32, m.cfg.Dim)
+	fft.CircularCorrelation(q, m.rel.M.Row(int(r)), m.ent.M.Row(int(o)))
+	return m.ent.M.MulVec(out, q)
+}
+
+// AccumulateGrad implements Trainable:
+//
+//	∂f/∂r = s ⋆ o, ∂f/∂s = r ⋆ o, ∂f/∂o = r * s (convolution).
+func (m *HolE) AccumulateGrad(t kg.Triple, _ GradContext, upstream float32, gb *GradBuffer) {
+	d := m.cfg.Dim
+	s := m.ent.M.Row(int(t.S))
+	r := m.rel.M.Row(int(t.R))
+	o := m.ent.M.Row(int(t.O))
+	tmp := make([]float32, d)
+	gb.Axpy("relation", int(t.R), upstream, fft.CircularCorrelation(tmp, s, o))
+	gb.Axpy("entity", int(t.S), upstream, fft.CircularCorrelation(tmp, r, o))
+	gb.Axpy("entity", int(t.O), upstream, fft.Convolve(tmp, r, s))
+}
+
+// PostBatch implements Trainable (no constraints).
+func (m *HolE) PostBatch() {}

@@ -1,0 +1,418 @@
+package kge
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+func testConfig(dim int) Config {
+	return Config{NumEntities: 12, NumRelations: 4, Dim: dim, Seed: 3}
+}
+
+func allModels(t *testing.T, dim int) []Trainable {
+	t.Helper()
+	var models []Trainable
+	for _, name := range ModelNames() {
+		cfg := testConfig(dim)
+		if name == "transe" {
+			// Use the smooth squared-L2 variant so finite differences are
+			// valid everywhere; the L1 variant has its own gradient test.
+			cfg.Norm = 2
+		}
+		m, err := New(name, cfg)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		models = append(models, m)
+	}
+	return models
+}
+
+func TestNewUnknownModel(t *testing.T) {
+	if _, err := New("bogus", testConfig(8)); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{NumEntities: 0, NumRelations: 1, Dim: 8},
+		{NumEntities: 1, NumRelations: 0, Dim: 8},
+		{NumEntities: 1, NumRelations: 1, Dim: 0},
+	} {
+		if _, err := New("transe", cfg); err == nil {
+			t.Errorf("accepted invalid config %+v", cfg)
+		}
+	}
+}
+
+func TestModelIdentity(t *testing.T) {
+	for _, m := range allModels(t, 8) {
+		if m.NumEntities() != 12 || m.NumRelations() != 4 {
+			t.Errorf("%s: vocab sizes wrong", m.Name())
+		}
+		if m.Dim() != 8 {
+			t.Errorf("%s: Dim = %d, want 8", m.Name(), m.Dim())
+		}
+	}
+}
+
+func TestScoreDeterministic(t *testing.T) {
+	tr := kg.Triple{S: 1, R: 2, O: 3}
+	for _, name := range ModelNames() {
+		a, err := New(name, testConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(name, testConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Score(tr) != b.Score(tr) {
+			t.Errorf("%s: same seed produced different scores", name)
+		}
+	}
+}
+
+// TestScoreAllMatchesScore verifies the batched sweeps agree with the
+// per-triple scoring function — the correctness condition for ranking.
+func TestScoreAllMatchesScore(t *testing.T) {
+	for _, m := range allModels(t, 8) {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			out := make([]float32, m.NumEntities())
+			m.ScoreAllObjects(2, 1, out)
+			for o := 0; o < m.NumEntities(); o++ {
+				want := m.Score(kg.Triple{S: 2, R: 1, O: kg.EntityID(o)})
+				if math.Abs(float64(out[o]-want)) > 1e-3*(1+math.Abs(float64(want))) {
+					t.Fatalf("ScoreAllObjects[%d] = %g, Score = %g", o, out[o], want)
+				}
+			}
+			m.ScoreAllSubjects(1, 3, out)
+			for s := 0; s < m.NumEntities(); s++ {
+				want := m.Score(kg.Triple{S: kg.EntityID(s), R: 1, O: 3})
+				if math.Abs(float64(out[s]-want)) > 1e-3*(1+math.Abs(float64(want))) {
+					t.Fatalf("ScoreAllSubjects[%d] = %g, Score = %g", s, out[s], want)
+				}
+			}
+		})
+	}
+}
+
+// TestScoreAllOddDimensions exercises HolE's naive (non-power-of-two)
+// correlation path and every model's sweep at an odd embedding size.
+func TestScoreAllOddDimensions(t *testing.T) {
+	for _, name := range ModelNames() {
+		cfg := testConfig(7)
+		if name == "conve" {
+			cfg.Dim = 12 // ConvE needs a 3x3-able reshape; 12 → 3x4 stacked 6x4
+		}
+		m, err := New(name, cfg)
+		if err != nil {
+			t.Fatalf("New(%s, dim=%d): %v", name, cfg.Dim, err)
+		}
+		out := make([]float32, m.NumEntities())
+		m.ScoreAllObjects(1, 1, out)
+		for o := 0; o < m.NumEntities(); o++ {
+			want := m.Score(kg.Triple{S: 1, R: 1, O: kg.EntityID(o)})
+			if math.Abs(float64(out[o]-want)) > 1e-3*(1+math.Abs(float64(want))) {
+				t.Fatalf("%s dim=%d: sweep[%d]=%g, Score=%g", name, cfg.Dim, o, out[o], want)
+			}
+		}
+	}
+}
+
+func TestScoreAllBufferSizePanics(t *testing.T) {
+	m, err := New("distmult", testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong buffer size")
+		}
+	}()
+	m.ScoreAllObjects(0, 0, make([]float32, 3))
+}
+
+// TestGradientCheck verifies AccumulateGrad against central finite
+// differences of Score for every parameter row the gradient touches. This
+// is the strongest single correctness check for the training substrate.
+func TestGradientCheck(t *testing.T) {
+	tr := kg.Triple{S: 1, R: 2, O: 3}
+	for _, m := range allModels(t, 8) {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			gb := NewGradBuffer(m.Params())
+			_, ctx := m.ScoreWithContext(tr)
+			m.AccumulateGrad(tr, ctx, 1, gb)
+			if gb.Len() == 0 {
+				t.Fatal("gradient touched no parameters")
+			}
+			const h = 1e-2
+			checked := 0
+			gb.ForEach(func(p *Param, row int, grad []float32) {
+				w := p.M.Row(row)
+				for i := range w {
+					orig := w[i]
+					w[i] = orig + h
+					up := float64(m.Score(tr))
+					w[i] = orig - h
+					down := float64(m.Score(tr))
+					w[i] = orig
+					fd := (up - down) / (2 * h)
+					got := float64(grad[i])
+					tol := 5e-2 * (1 + math.Abs(fd))
+					if math.Abs(fd-got) > tol {
+						t.Errorf("%s[%d][%d]: analytic %.5f, finite-diff %.5f",
+							p.Name, row, i, got, fd)
+					}
+					checked++
+				}
+			})
+			if checked == 0 {
+				t.Fatal("no gradient entries checked")
+			}
+		})
+	}
+}
+
+// TestGradientCheckL1TransE covers the non-smooth L1 distance variant at a
+// generic point (Xavier-initialized parameters are almost surely away from
+// the kinks).
+func TestGradientCheckL1TransE(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.Norm = 1
+	m, err := NewTransE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := kg.Triple{S: 0, R: 1, O: 2}
+	gb := NewGradBuffer(m.Params())
+	m.AccumulateGrad(tr, nil, 1, gb)
+	// Residuals per coordinate, to skip coordinates near the |·| kink where
+	// a finite difference straddles the non-differentiable point.
+	s := m.Params().Get("entity").M.Row(0)
+	r := m.Params().Get("relation").M.Row(1)
+	o := m.Params().Get("entity").M.Row(2)
+	resid := make([]float64, len(s))
+	for i := range s {
+		resid[i] = float64(s[i] + r[i] - o[i])
+	}
+	const h = 1e-4
+	gb.ForEach(func(p *Param, row int, grad []float32) {
+		w := p.M.Row(row)
+		for i := range w {
+			if math.Abs(resid[i]) < 10*h {
+				continue
+			}
+			orig := w[i]
+			w[i] = orig + h
+			up := float64(m.Score(tr))
+			w[i] = orig - h
+			down := float64(m.Score(tr))
+			w[i] = orig
+			fd := (up - down) / (2 * h)
+			if math.Abs(fd-float64(grad[i])) > 5e-2 {
+				t.Errorf("%s[%d][%d]: analytic %.5f, finite-diff %.5f", p.Name, row, i, grad[i], fd)
+			}
+		}
+	})
+}
+
+func TestTransERejectsBadNorm(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.Norm = 3
+	if _, err := NewTransE(cfg); err == nil {
+		t.Fatal("accepted norm 3")
+	}
+}
+
+func TestDistMultIsSymmetric(t *testing.T) {
+	m, err := New("distmult", testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Score(kg.Triple{S: 1, R: 0, O: 5})
+	b := m.Score(kg.Triple{S: 5, R: 0, O: 1})
+	if a != b {
+		t.Errorf("DistMult must be symmetric: f(s,r,o)=%g, f(o,r,s)=%g", a, b)
+	}
+}
+
+func TestComplExBreaksSymmetry(t *testing.T) {
+	m, err := New("complex", testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Score(kg.Triple{S: 1, R: 0, O: 5})
+	b := m.Score(kg.Triple{S: 5, R: 0, O: 1})
+	if a == b {
+		t.Error("randomly initialized ComplEx scored a triple symmetrically — the imaginary parts are not contributing")
+	}
+}
+
+func TestTransEPostBatchProjectsToUnitBall(t *testing.T) {
+	m, err := NewTransE(testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blow up an entity row, then project.
+	row := m.Params().Get("entity").M.Row(0)
+	for i := range row {
+		row[i] = 10
+	}
+	m.PostBatch()
+	var norm2 float64
+	for _, v := range row {
+		norm2 += float64(v) * float64(v)
+	}
+	if norm2 > 1+1e-5 {
+		t.Errorf("entity norm² = %g after PostBatch, want <= 1", norm2)
+	}
+}
+
+func TestConvERejectsBadGeometry(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.ConvEHeight, cfg.ConvEWidth = 3, 3 // 9 != 8
+	if _, err := NewConvE(cfg); err == nil {
+		t.Fatal("accepted h*w != dim")
+	}
+	cfg = testConfig(2)
+	cfg.ConvEHeight, cfg.ConvEWidth = 1, 2 // width < 3
+	if _, err := NewConvE(cfg); err == nil {
+		t.Fatal("accepted input too small for 3x3 conv")
+	}
+}
+
+func TestSquarestFactors(t *testing.T) {
+	for _, tc := range []struct{ d, h, w int }{
+		{32, 4, 8}, {64, 8, 8}, {100, 10, 10}, {7, 1, 7}, {12, 3, 4},
+	} {
+		h, w := squarestFactors(tc.d)
+		if h != tc.h || w != tc.w {
+			t.Errorf("squarestFactors(%d) = (%d, %d), want (%d, %d)", tc.d, h, w, tc.h, tc.w)
+		}
+		if h*w != tc.d {
+			t.Errorf("squarestFactors(%d) does not factor", tc.d)
+		}
+	}
+}
+
+func TestParamSetDuplicatePanics(t *testing.T) {
+	ps := NewParamSet()
+	ps.Add("x", 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for duplicate parameter name")
+		}
+	}()
+	ps.Add("x", 1, 1)
+}
+
+func TestGradBufferMerge(t *testing.T) {
+	ps := NewParamSet()
+	ps.Add("w", 4, 3)
+	a := NewGradBuffer(ps)
+	b := NewGradBuffer(ps)
+	a.Axpy("w", 1, 2, []float32{1, 1, 1})
+	b.Axpy("w", 1, 3, []float32{1, 1, 1})
+	b.Axpy("w", 2, 1, []float32{1, 0, 0})
+	a.Merge(b)
+	if got := a.Row("w", 1)[0]; got != 5 {
+		t.Errorf("merged grad = %g, want 5", got)
+	}
+	if got := a.Row("w", 2)[0]; got != 1 {
+		t.Errorf("merged new-row grad = %g, want 1", got)
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d, want 2", a.Len())
+	}
+}
+
+func TestGradBufferReset(t *testing.T) {
+	ps := NewParamSet()
+	ps.Add("w", 2, 2)
+	gb := NewGradBuffer(ps)
+	gb.Axpy("w", 0, 1, []float32{2, 2})
+	gb.Reset()
+	if got := gb.Row("w", 0)[0]; got != 0 {
+		t.Errorf("after Reset grad = %g, want 0", got)
+	}
+}
+
+func TestGradBufferUnknownParamPanics(t *testing.T) {
+	gb := NewGradBuffer(NewParamSet())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown parameter")
+		}
+	}()
+	gb.Row("nope", 0)
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, name := range ModelNames() {
+		m, err := New(name, testConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Perturb parameters so we are not just roundtripping the seed.
+		for _, p := range m.Params().List() {
+			for i := range p.M.Data {
+				p.M.Data[i] += float32(rng.NormFloat64()) * 0.01
+			}
+		}
+		var buf bytes.Buffer
+		if err := Save(m, &buf); err != nil {
+			t.Fatalf("Save(%s): %v", name, err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", name, err)
+		}
+		if back.Name() != name {
+			t.Fatalf("loaded model is %q, want %q", back.Name(), name)
+		}
+		for i := 0; i < 20; i++ {
+			tr := kg.Triple{
+				S: kg.EntityID(rng.Intn(12)),
+				R: kg.RelationID(rng.Intn(4)),
+				O: kg.EntityID(rng.Intn(12)),
+			}
+			if got, want := back.Score(tr), m.Score(tr); got != want {
+				t.Fatalf("%s: loaded model scores %v as %g, original %g", name, tr, got, want)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m, err := New("transe", testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.kge"
+	if err := SaveFile(m, path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	tr := kg.Triple{S: 0, R: 0, O: 1}
+	if back.Score(tr) != m.Score(tr) {
+		t.Error("file roundtrip changed scores")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}

@@ -1,0 +1,225 @@
+package kge
+
+import (
+	"repro/internal/fft"
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// KvsAll ("1-N") scoring backpropagation. LibKGE's KvsAll training type —
+// and the training procedure of the original ConvE paper — scores each
+// (s, r) context against every entity simultaneously and applies binary
+// cross-entropy against the multi-hot vector of true objects. This needs
+// the gradient of the whole ScoreAllObjects sweep, which every model here
+// provides through KvsAllTrainable: given upstream[o] = ∂L/∂score(s, r, o)
+// for all o, accumulate gradients into every touched parameter row.
+//
+// The per-model implementations factor the sweep as score_o = q(s, r)·e_o
+// (plus per-entity bias for ConvE), so the shared pattern is
+//
+//	∂L/∂e_o += upstream[o] · q        (one row per entity)
+//	∂L/∂q    = Eᵀ · upstream          (then chained into s and r)
+//
+// The test suite verifies each implementation against the sum of
+// per-triple AccumulateGrad calls.
+type KvsAllTrainable interface {
+	Trainable
+	// AccumulateGradAllObjects accumulates the gradient of all object
+	// scores for context (s, r). upstream must have length NumEntities.
+	AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstream []float32, gb *GradBuffer)
+}
+
+// entityBackprop applies the shared ∂L/∂e_o += upstream[o]·q step and
+// returns dq = Eᵀ·upstream.
+func entityBackprop(ent *Param, upstream, q []float32, gb *GradBuffer) (dq []float32) {
+	dq = make([]float32, len(q))
+	for o, g := range upstream {
+		if g == 0 {
+			continue
+		}
+		gb.Axpy("entity", o, g, q)
+		vecmath.Axpy(g, ent.M.Row(o), dq)
+	}
+	return dq
+}
+
+// AccumulateGradAllObjects implements KvsAllTrainable for DistMult:
+// q = s∘r, ds = dq∘r, dr = dq∘s.
+func (m *DistMult) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstream []float32, gb *GradBuffer) {
+	checkScoreBuf(upstream, m.cfg.NumEntities)
+	sRow := m.ent.M.Row(int(s))
+	rRow := m.rel.M.Row(int(r))
+	q := vecmath.Hadamard(make([]float32, m.cfg.Dim), sRow, rRow)
+	dq := entityBackprop(m.ent, upstream, q, gb)
+	gs := gb.Row("entity", int(s))
+	gr := gb.Row("relation", int(r))
+	for i := range dq {
+		gs[i] += dq[i] * rRow[i]
+		gr[i] += dq[i] * sRow[i]
+	}
+}
+
+// AccumulateGradAllObjects implements KvsAllTrainable for ComplEx with the
+// conjugate-product chain rule:
+//
+//	q_re = s_re∘r_re − s_im∘r_im     q_im = s_im∘r_re + s_re∘r_im
+//	ds_re = dq_re∘r_re + dq_im∘r_im  ds_im = −dq_re∘r_im + dq_im∘r_re
+//	dr_re = dq_re∘s_re + dq_im∘s_im  dr_im = −dq_re∘s_im + dq_im∘s_re
+func (m *ComplEx) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstream []float32, gb *GradBuffer) {
+	checkScoreBuf(upstream, m.cfg.NumEntities)
+	d := m.cfg.Dim
+	sre, sim := m.split(m.ent.M.Row(int(s)))
+	rre, rim := m.split(m.rel.M.Row(int(r)))
+	q := make([]float32, 2*d)
+	for i := 0; i < d; i++ {
+		q[i] = sre[i]*rre[i] - sim[i]*rim[i]
+		q[d+i] = sim[i]*rre[i] + sre[i]*rim[i]
+	}
+	dq := entityBackprop(m.ent, upstream, q, gb)
+	gs := gb.Row("entity", int(s))
+	gr := gb.Row("relation", int(r))
+	for i := 0; i < d; i++ {
+		dre, dim := dq[i], dq[d+i]
+		gs[i] += dre*rre[i] + dim*rim[i]
+		gs[d+i] += -dre*rim[i] + dim*rre[i]
+		gr[i] += dre*sre[i] + dim*sim[i]
+		gr[d+i] += -dre*sim[i] + dim*sre[i]
+	}
+}
+
+// AccumulateGradAllObjects implements KvsAllTrainable for RESCAL:
+// q = Wᵣᵀs, ds = Wᵣ·dq, dWᵣ += s·dqᵀ.
+func (m *RESCAL) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstream []float32, gb *GradBuffer) {
+	checkScoreBuf(upstream, m.cfg.NumEntities)
+	d := m.cfg.Dim
+	sRow := m.ent.M.Row(int(s))
+	q := m.wts(make([]float32, d), r, sRow)
+	dq := entityBackprop(m.ent, upstream, q, gb)
+	gb.Axpy("entity", int(s), 1, m.wo(make([]float32, d), r, dq))
+	gw := gb.Row("relation", int(r))
+	for i := 0; i < d; i++ {
+		vecmath.Axpy(sRow[i], dq, gw[i*d:(i+1)*d])
+	}
+}
+
+// AccumulateGradAllObjects implements KvsAllTrainable for HolE:
+// q = r * s (convolution), ds = r ⋆ dq, dr = s ⋆ dq (correlations).
+func (m *HolE) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstream []float32, gb *GradBuffer) {
+	checkScoreBuf(upstream, m.cfg.NumEntities)
+	d := m.cfg.Dim
+	sRow := m.ent.M.Row(int(s))
+	rRow := m.rel.M.Row(int(r))
+	q := fft.Convolve(make([]float32, d), rRow, sRow)
+	dq := entityBackprop(m.ent, upstream, q, gb)
+	tmp := make([]float32, d)
+	gb.Axpy("entity", int(s), 1, fft.CircularCorrelation(tmp, rRow, dq))
+	gb.Axpy("relation", int(r), 1, fft.CircularCorrelation(make([]float32, d), sRow, dq))
+}
+
+// AccumulateGradAllObjects implements KvsAllTrainable for TransE. The
+// object sweep is not an inner product, so the chain is distance-based:
+// with q = s + r and e = q − e_o,
+//
+//	norm 2: ∂score_o/∂q = −2e, ∂score_o/∂e_o = +2e
+//	norm 1: ±sign(e) per coordinate.
+func (m *TransE) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstream []float32, gb *GradBuffer) {
+	checkScoreBuf(upstream, m.cfg.NumEntities)
+	d := m.cfg.Dim
+	q := vecmath.Add(make([]float32, d), m.ent.M.Row(int(s)), m.rel.M.Row(int(r)))
+	dq := make([]float32, d)
+	for o := 0; o < m.cfg.NumEntities; o++ {
+		g := upstream[o]
+		if g == 0 {
+			continue
+		}
+		oRow := m.ent.M.Row(o)
+		gout := gb.Row("entity", o)
+		for i := 0; i < d; i++ {
+			e := q[i] - oRow[i]
+			var de float32
+			if m.norm == 1 {
+				switch {
+				case e > 0:
+					de = 1
+				case e < 0:
+					de = -1
+				}
+			} else {
+				de = 2 * e
+			}
+			dq[i] += -g * de
+			gout[i] += g * de
+		}
+	}
+	gb.Axpy("entity", int(s), 1, dq)
+	gb.Axpy("relation", int(r), 1, dq)
+}
+
+// AccumulateGradAllObjects implements KvsAllTrainable for ConvE — the model
+// the 1-N trick was invented for: one forward pass, entity-table and bias
+// gradients per object, and a single backward pass through the FC and conv
+// layers with dh = Eᵀ·upstream.
+func (m *ConvE) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstream []float32, gb *GradBuffer) {
+	checkScoreBuf(upstream, m.cfg.NumEntities)
+	c := m.forward(s, r)
+	dh := make([]float32, m.cfg.Dim)
+	for o, g := range upstream {
+		if g == 0 {
+			continue
+		}
+		gb.Axpy("entity", o, g, c.hidden)
+		gb.Row("entbias", o)[0] += g
+		vecmath.Axpy(g, m.ent.M.Row(o), dh)
+	}
+	m.backpropHidden(s, r, c, dh, gb)
+}
+
+// backpropHidden pushes a hidden-layer gradient through the FC and conv
+// layers down to the subject and relation embeddings. Shared by the
+// per-triple and KvsAll gradient paths.
+func (m *ConvE) backpropHidden(s kg.EntityID, r kg.RelationID, c *conveCtx, dh []float32, gb *GradBuffer) {
+	d := m.cfg.Dim
+	dz2 := make([]float32, d)
+	gfcb := gb.Row("fcbias", 0)
+	for i := 0; i < d; i++ {
+		if c.z2[i] > 0 && dh[i] != 0 {
+			dz2[i] = dh[i]
+			gfcb[i] += dz2[i]
+			gb.Axpy("fc", i, dz2[i], c.x)
+		}
+	}
+	dx := make([]float32, m.flat)
+	for i := 0; i < d; i++ {
+		if dz2[i] != 0 {
+			vecmath.Axpy(dz2[i], m.fc.M.Row(i), dx)
+		}
+	}
+	iw := m.w
+	dinput := make([]float32, 2*d)
+	gconvB := gb.Row("convbias", 0)
+	for f := 0; f < m.filters; f++ {
+		k := m.conv.M.Row(f)
+		gk := gb.Row("conv", f)
+		base := f * m.oh * m.ow
+		for i := 0; i < m.oh; i++ {
+			for j := 0; j < m.ow; j++ {
+				idx := base + i*m.ow + j
+				if c.z1[idx] <= 0 || dx[idx] == 0 {
+					continue
+				}
+				g := dx[idx]
+				gconvB[f] += g
+				for u := 0; u < 3; u++ {
+					inRow := (i + u) * iw
+					kRow := u * 3
+					for v := 0; v < 3; v++ {
+						gk[kRow+v] += g * c.input[inRow+j+v]
+						dinput[inRow+j+v] += g * k[kRow+v]
+					}
+				}
+			}
+		}
+	}
+	vecmath.Axpy(1, dinput[:d], gb.Row("entity", int(s)))
+	vecmath.Axpy(1, dinput[d:], gb.Row("relation", int(r)))
+}

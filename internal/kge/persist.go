@@ -1,0 +1,112 @@
+package kge
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the gob wire format for a trained model: the constructor
+// configuration plus every parameter table's raw data. Loading reconstructs
+// the model through New (so geometry derivations rerun) and then overwrites
+// the freshly initialized parameters.
+type snapshot struct {
+	ModelName string
+	Config    Config
+	Params    map[string][]float32
+	Shapes    map[string][2]int
+}
+
+// Save serializes a trained model to w.
+func Save(m Trainable, w io.Writer) error {
+	snap := snapshot{
+		ModelName: m.Name(),
+		Params:    make(map[string][]float32),
+		Shapes:    make(map[string][2]int),
+	}
+	cfg, err := configOf(m)
+	if err != nil {
+		return err
+	}
+	snap.Config = cfg
+	for _, p := range m.Params().List() {
+		data := make([]float32, len(p.M.Data))
+		copy(data, p.M.Data)
+		snap.Params[p.Name] = data
+		snap.Shapes[p.Name] = [2]int{p.M.Rows, p.M.Cols}
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reconstructs a model previously written by Save.
+func Load(r io.Reader) (Trainable, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("kge: decode snapshot: %w", err)
+	}
+	m, err := New(snap.ModelName, snap.Config)
+	if err != nil {
+		return nil, fmt.Errorf("kge: reconstruct %q: %w", snap.ModelName, err)
+	}
+	for _, p := range m.Params().List() {
+		data, ok := snap.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("kge: snapshot missing parameter %q", p.Name)
+		}
+		shape := snap.Shapes[p.Name]
+		if shape[0] != p.M.Rows || shape[1] != p.M.Cols {
+			return nil, fmt.Errorf("kge: parameter %q shape %v, want [%d %d]",
+				p.Name, shape, p.M.Rows, p.M.Cols)
+		}
+		if len(data) != len(p.M.Data) {
+			return nil, fmt.Errorf("kge: parameter %q has %d scalars, want %d",
+				p.Name, len(data), len(p.M.Data))
+		}
+		copy(p.M.Data, data)
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path, creating or truncating it.
+func SaveFile(m Trainable, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(m, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (Trainable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// configOf recovers the constructor Config from a live model.
+func configOf(m Trainable) (Config, error) {
+	switch t := m.(type) {
+	case *TransE:
+		return t.cfg, nil
+	case *DistMult:
+		return t.cfg, nil
+	case *ComplEx:
+		return t.cfg, nil
+	case *RESCAL:
+		return t.cfg, nil
+	case *HolE:
+		return t.cfg, nil
+	case *ConvE:
+		return t.cfg, nil
+	default:
+		return Config{}, fmt.Errorf("kge: cannot snapshot model type %T", m)
+	}
+}

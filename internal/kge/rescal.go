@@ -1,0 +1,125 @@
+package kge
+
+import (
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// RESCAL (Nickel et al., 2011) is the bilinear factorization model: each
+// entity gets a vector and each relation a full d×d matrix Wᵣ, scored as
+// f(s, r, o) = sᵀ Wᵣ o. The relation table stores each matrix flattened
+// row-major as one K×d² row, so the sparse per-row optimizer updates one
+// relation's whole matrix as a unit.
+type RESCAL struct {
+	cfg Config
+	ps  *ParamSet
+	ent *Param // N×d
+	rel *Param // K×d² (row-major d×d matrices)
+}
+
+// NewRESCAL constructs and initializes a RESCAL model.
+func NewRESCAL(cfg Config) (*RESCAL, error) {
+	m := &RESCAL{cfg: cfg, ps: NewParamSet()}
+	m.ent = m.ps.Add("entity", cfg.NumEntities, cfg.Dim)
+	m.rel = m.ps.Add("relation", cfg.NumRelations, cfg.Dim*cfg.Dim)
+	rng := initRNG(cfg)
+	for i := 0; i < cfg.NumEntities; i++ {
+		vecmath.XavierInit(rng, m.ent.M.Row(i), cfg.Dim, cfg.Dim)
+	}
+	for i := 0; i < cfg.NumRelations; i++ {
+		vecmath.XavierInit(rng, m.rel.M.Row(i), cfg.Dim, cfg.Dim)
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *RESCAL) Name() string { return "rescal" }
+
+// Dim implements Model.
+func (m *RESCAL) Dim() int { return m.cfg.Dim }
+
+// NumEntities implements Model.
+func (m *RESCAL) NumEntities() int { return m.cfg.NumEntities }
+
+// NumRelations implements Model.
+func (m *RESCAL) NumRelations() int { return m.cfg.NumRelations }
+
+// Params implements Trainable.
+func (m *RESCAL) Params() *ParamSet { return m.ps }
+
+// relMatrix views relation r's flattened row as a d×d matrix.
+func (m *RESCAL) relMatrix(r kg.RelationID) []float32 { return m.rel.M.Row(int(r)) }
+
+// wo computes dst = Wᵣ·o.
+func (m *RESCAL) wo(dst []float32, r kg.RelationID, o []float32) []float32 {
+	d := m.cfg.Dim
+	w := m.relMatrix(r)
+	for i := 0; i < d; i++ {
+		dst[i] = vecmath.Dot(w[i*d:(i+1)*d], o)
+	}
+	return dst
+}
+
+// wts computes dst = Wᵣᵀ·s.
+func (m *RESCAL) wts(dst []float32, r kg.RelationID, s []float32) []float32 {
+	d := m.cfg.Dim
+	w := m.relMatrix(r)
+	for j := 0; j < d; j++ {
+		dst[j] = 0
+	}
+	for i := 0; i < d; i++ {
+		vecmath.Axpy(s[i], w[i*d:(i+1)*d], dst)
+	}
+	return dst
+}
+
+// Score implements Model.
+func (m *RESCAL) Score(t kg.Triple) float32 {
+	s := m.ent.M.Row(int(t.S))
+	o := m.ent.M.Row(int(t.O))
+	tmp := make([]float32, m.cfg.Dim)
+	m.wo(tmp, t.R, o)
+	return vecmath.Dot(s, tmp)
+}
+
+// ScoreWithContext implements Trainable.
+func (m *RESCAL) ScoreWithContext(t kg.Triple) (float32, GradContext) {
+	return m.Score(t), nil
+}
+
+// ScoreAllObjects implements Model: q = Wᵣᵀ·s, scores = E·q.
+func (m *RESCAL) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	q := make([]float32, m.cfg.Dim)
+	m.wts(q, r, m.ent.M.Row(int(s)))
+	return m.ent.M.MulVec(out, q)
+}
+
+// ScoreAllSubjects implements Model: q = Wᵣ·o, scores = E·q.
+func (m *RESCAL) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	q := make([]float32, m.cfg.Dim)
+	m.wo(q, r, m.ent.M.Row(int(o)))
+	return m.ent.M.MulVec(out, q)
+}
+
+// AccumulateGrad implements Trainable:
+//
+//	∂f/∂s = Wᵣ·o, ∂f/∂o = Wᵣᵀ·s, ∂f/∂Wᵣ = s·oᵀ (outer product).
+func (m *RESCAL) AccumulateGrad(t kg.Triple, _ GradContext, upstream float32, gb *GradBuffer) {
+	d := m.cfg.Dim
+	s := m.ent.M.Row(int(t.S))
+	o := m.ent.M.Row(int(t.O))
+
+	tmp := make([]float32, d)
+	gb.Axpy("entity", int(t.S), upstream, m.wo(tmp, t.R, o))
+	gb.Axpy("entity", int(t.O), upstream, m.wts(tmp, t.R, s))
+
+	gw := gb.Row("relation", int(t.R))
+	for i := 0; i < d; i++ {
+		vecmath.Axpy(upstream*s[i], o, gw[i*d:(i+1)*d])
+	}
+}
+
+// PostBatch implements Trainable (no constraints).
+func (m *RESCAL) PostBatch() {}

@@ -1,0 +1,172 @@
+package kge
+
+import (
+	"fmt"
+
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// TransE is the translation-based model of Bordes et al. (2013): a relation
+// is a translation in embedding space and the scoring function is the
+// negated distance f(s, r, o) = −d(s + r, o). Norm 1 uses the L1 distance;
+// norm 2 uses the squared L2 distance (smooth, so the gradient is exact
+// everywhere).
+type TransE struct {
+	cfg  Config
+	norm int
+	ps   *ParamSet
+	ent  *Param // N×d entity embeddings
+	rel  *Param // K×d relation embeddings
+}
+
+// NewTransE constructs and initializes a TransE model.
+func NewTransE(cfg Config) (*TransE, error) {
+	norm := cfg.Norm
+	if norm == 0 {
+		norm = 1
+	}
+	if norm != 1 && norm != 2 {
+		return nil, fmt.Errorf("kge: transe: norm must be 1 or 2, got %d", cfg.Norm)
+	}
+	m := &TransE{cfg: cfg, norm: norm, ps: NewParamSet()}
+	m.ent = m.ps.Add("entity", cfg.NumEntities, cfg.Dim)
+	m.rel = m.ps.Add("relation", cfg.NumRelations, cfg.Dim)
+	rng := initRNG(cfg)
+	for i := 0; i < cfg.NumEntities; i++ {
+		vecmath.XavierInit(rng, m.ent.M.Row(i), cfg.Dim, cfg.Dim)
+		vecmath.NormalizeL2(m.ent.M.Row(i))
+	}
+	for i := 0; i < cfg.NumRelations; i++ {
+		vecmath.XavierInit(rng, m.rel.M.Row(i), cfg.Dim, cfg.Dim)
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *TransE) Name() string { return "transe" }
+
+// Dim implements Model.
+func (m *TransE) Dim() int { return m.cfg.Dim }
+
+// NumEntities implements Model.
+func (m *TransE) NumEntities() int { return m.cfg.NumEntities }
+
+// NumRelations implements Model.
+func (m *TransE) NumRelations() int { return m.cfg.NumRelations }
+
+// Params implements Trainable.
+func (m *TransE) Params() *ParamSet { return m.ps }
+
+// Score implements Model: −d(s + r, o).
+func (m *TransE) Score(t kg.Triple) float32 {
+	s := m.ent.M.Row(int(t.S))
+	r := m.rel.M.Row(int(t.R))
+	o := m.ent.M.Row(int(t.O))
+	var d float32
+	if m.norm == 1 {
+		for i := range s {
+			v := s[i] + r[i] - o[i]
+			if v < 0 {
+				v = -v
+			}
+			d += v
+		}
+	} else {
+		for i := range s {
+			v := s[i] + r[i] - o[i]
+			d += v * v
+		}
+	}
+	return -d
+}
+
+// ScoreWithContext implements Trainable.
+func (m *TransE) ScoreWithContext(t kg.Triple) (float32, GradContext) {
+	return m.Score(t), nil
+}
+
+// ScoreAllObjects implements Model. With q = s + r the object sweep scores
+// −d(q, o') for every entity row o'.
+func (m *TransE) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	q := make([]float32, m.cfg.Dim)
+	vecmath.Add(q, m.ent.M.Row(int(s)), m.rel.M.Row(int(r)))
+	for o := 0; o < m.cfg.NumEntities; o++ {
+		row := m.ent.M.Row(o)
+		var d float32
+		if m.norm == 1 {
+			d = vecmath.L1Distance(q, row)
+		} else {
+			for i := range q {
+				v := q[i] - row[i]
+				d += v * v
+			}
+		}
+		out[o] = -d
+	}
+	return out
+}
+
+// ScoreAllSubjects implements Model. d(s + r, o) = d(s, o − r), so with
+// q = o − r the subject sweep is symmetric to the object sweep.
+func (m *TransE) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32) []float32 {
+	checkScoreBuf(out, m.cfg.NumEntities)
+	q := make([]float32, m.cfg.Dim)
+	vecmath.Sub(q, m.ent.M.Row(int(o)), m.rel.M.Row(int(r)))
+	for s := 0; s < m.cfg.NumEntities; s++ {
+		row := m.ent.M.Row(s)
+		var d float32
+		if m.norm == 1 {
+			d = vecmath.L1Distance(row, q)
+		} else {
+			for i := range q {
+				v := row[i] - q[i]
+				d += v * v
+			}
+		}
+		out[s] = -d
+	}
+	return out
+}
+
+// AccumulateGrad implements Trainable. With e = s + r − o:
+//
+//	norm 1: ∂f/∂s = −sign(e), ∂f/∂r = −sign(e), ∂f/∂o = +sign(e)
+//	norm 2: ∂f/∂s = −2e,      ∂f/∂r = −2e,      ∂f/∂o = +2e
+func (m *TransE) AccumulateGrad(t kg.Triple, _ GradContext, upstream float32, gb *GradBuffer) {
+	s := m.ent.M.Row(int(t.S))
+	r := m.rel.M.Row(int(t.R))
+	o := m.ent.M.Row(int(t.O))
+	gs := gb.Row("entity", int(t.S))
+	gr := gb.Row("relation", int(t.R))
+	go_ := gb.Row("entity", int(t.O))
+	for i := range s {
+		e := s[i] + r[i] - o[i]
+		var g float32
+		if m.norm == 1 {
+			switch {
+			case e > 0:
+				g = 1
+			case e < 0:
+				g = -1
+			}
+		} else {
+			g = 2 * e
+		}
+		gs[i] += -g * upstream
+		gr[i] += -g * upstream
+		go_[i] += g * upstream
+	}
+}
+
+// PostBatch implements Trainable: project entity embeddings back onto the
+// unit L2 ball, the constraint from the original TransE training procedure.
+func (m *TransE) PostBatch() {
+	for i := 0; i < m.cfg.NumEntities; i++ {
+		row := m.ent.M.Row(i)
+		if vecmath.SquaredL2Norm(row) > 1 {
+			vecmath.NormalizeL2(row)
+		}
+	}
+}

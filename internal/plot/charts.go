@@ -1,0 +1,211 @@
+package plot
+
+import "math"
+
+// BarChart is a grouped bar chart: one group per x-axis category, one bar
+// per series within each group — the shape of the paper's Figures 2, 4, 6
+// (groups = strategies, series = models).
+type BarChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Groups []string    // x-axis categories
+	Series []string    // legend entries
+	Values [][]float64 // Values[series][group]
+	Width  int
+	Height int
+}
+
+// Render returns the chart as an SVG document.
+func (c BarChart) Render() string {
+	s := newSVG(c.Width, c.Height)
+	maxV := 0.0
+	for _, row := range c.Values {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	y := drawFrame(s, c.Title, c.XLabel, c.YLabel, 0, maxV*1.05)
+
+	plotWidth := float64(s.w - marginLeft - marginRight)
+	plotBottom := float64(s.h - marginBottom)
+	nGroups := len(c.Groups)
+	nSeries := len(c.Series)
+	if nGroups == 0 || nSeries == 0 {
+		return s.finish()
+	}
+	groupWidth := plotWidth / float64(nGroups)
+	barWidth := groupWidth * 0.8 / float64(nSeries)
+
+	for gi, group := range c.Groups {
+		gx := marginLeft + float64(gi)*groupWidth
+		for si := range c.Series {
+			if gi >= len(c.Values[si]) {
+				continue
+			}
+			v := c.Values[si][gi]
+			bx := gx + groupWidth*0.1 + float64(si)*barWidth
+			by := y.scale(v)
+			s.rect(bx, by, barWidth, plotBottom-by, Color(si))
+		}
+		s.textRotated(gx+groupWidth/2, plotBottom+14, 10, "end", -30, group)
+	}
+	drawLegend(s, c.Series)
+	return s.finish()
+}
+
+// Histogram renders binned counts — the paper's Figure 3 shape — with an
+// optional vertical mean marker (the figure's red line).
+type Histogram struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Edges  []float64 // len = len(Counts)+1
+	Counts []int
+	Mean   float64 // vertical marker; NaN disables it
+	Width  int
+	Height int
+}
+
+// Render returns the chart as an SVG document.
+func (c Histogram) Render() string {
+	s := newSVG(c.Width, c.Height)
+	maxC := 0
+	for _, v := range c.Counts {
+		if v > maxC {
+			maxC = v
+		}
+	}
+	if maxC == 0 {
+		maxC = 1
+	}
+	y := drawFrame(s, c.Title, c.XLabel, c.YLabel, 0, float64(maxC)*1.05)
+	if len(c.Counts) == 0 || len(c.Edges) != len(c.Counts)+1 {
+		return s.finish()
+	}
+	x := axis{min: c.Edges[0], max: c.Edges[len(c.Edges)-1],
+		lo: marginLeft, hi: float64(s.w - marginRight)}
+	plotBottom := float64(s.h - marginBottom)
+
+	for i, count := range c.Counts {
+		x0 := x.scale(c.Edges[i])
+		x1 := x.scale(c.Edges[i+1])
+		by := y.scale(float64(count))
+		s.rect(x0, by, math.Max(x1-x0-1, 0.5), plotBottom-by, Color(0))
+	}
+	for _, tv := range niceTicks(x.min, x.max, 6) {
+		px := x.scale(tv)
+		s.text(px, plotBottom+14, 10, "middle", formatTick(tv))
+	}
+	if !math.IsNaN(c.Mean) {
+		px := x.scale(c.Mean)
+		s.line(px, float64(marginTop), px, plotBottom, "#cc0000", 2)
+		s.text(px+4, float64(marginTop)+12, 10, "start", "mean "+formatTick(c.Mean))
+	}
+	return s.finish()
+}
+
+// LineChart renders one or more series over a shared numeric x axis — the
+// shape of the paper's Figures 7–10 (x = max_candidates or top_n, one line
+// per hyperparameter value).
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []string
+	Values [][]float64 // Values[series][i] pairs with X[i]
+	Width  int
+	Height int
+}
+
+// Render returns the chart as an SVG document.
+func (c LineChart) Render() string {
+	s := newSVG(c.Width, c.Height)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, row := range c.Values {
+		for _, v := range row {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if math.IsInf(minV, 1) {
+		minV, maxV = 0, 1
+	}
+	if minV > 0 {
+		minV = 0 // anchor at zero for honest visual comparison
+	}
+	y := drawFrame(s, c.Title, c.XLabel, c.YLabel, minV, maxV*1.05)
+	if len(c.X) == 0 {
+		return s.finish()
+	}
+	x := axis{min: c.X[0], max: c.X[len(c.X)-1], lo: marginLeft, hi: float64(s.w - marginRight)}
+	plotBottom := float64(s.h - marginBottom)
+	for _, tv := range niceTicks(x.min, x.max, 6) {
+		px := x.scale(tv)
+		s.text(px, plotBottom+14, 10, "middle", formatTick(tv))
+	}
+	for si, row := range c.Values {
+		pts := make([]point, 0, len(row))
+		for i, v := range row {
+			if i >= len(c.X) {
+				break
+			}
+			pts = append(pts, point{x.scale(c.X[i]), y.scale(v)})
+		}
+		s.polyline(pts, Color(si), 2)
+		for _, p := range pts {
+			s.circle(p.x, p.y, 2.5, Color(si))
+		}
+	}
+	drawLegend(s, c.Series)
+	return s.finish()
+}
+
+// Scatter renders (x, y) points — the paper's Figure 5 shape (node index
+// vs statistic).
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+	Width  int
+	Height int
+}
+
+// Render returns the chart as an SVG document.
+func (c Scatter) Render() string {
+	s := newSVG(c.Width, c.Height)
+	if len(c.X) == 0 || len(c.X) != len(c.Y) {
+		drawFrame(s, c.Title, c.XLabel, c.YLabel, 0, 1)
+		return s.finish()
+	}
+	minY, maxY := c.Y[0], c.Y[0]
+	minX, maxX := c.X[0], c.X[0]
+	for i := range c.X {
+		minX = math.Min(minX, c.X[i])
+		maxX = math.Max(maxX, c.X[i])
+		minY = math.Min(minY, c.Y[i])
+		maxY = math.Max(maxY, c.Y[i])
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	y := drawFrame(s, c.Title, c.XLabel, c.YLabel, minY, maxY*1.05)
+	x := axis{min: minX, max: maxX, lo: marginLeft, hi: float64(s.w - marginRight)}
+	plotBottom := float64(s.h - marginBottom)
+	for _, tv := range niceTicks(x.min, x.max, 6) {
+		px := x.scale(tv)
+		s.text(px, plotBottom+14, 10, "middle", formatTick(tv))
+	}
+	for i := range c.X {
+		s.circle(x.scale(c.X[i]), y.scale(c.Y[i]), 1.5, Color(0))
+	}
+	return s.finish()
+}

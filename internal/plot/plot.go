@@ -1,0 +1,203 @@
+// Package plot renders the repository's experiment results as standalone
+// SVG figures using only the standard library. It supports the three chart
+// shapes the paper's evaluation section uses: grouped bar charts
+// (Figures 2, 4, 6), histograms (Figure 3), scatter/series-by-index plots
+// (Figure 5) and multi-series line charts (Figures 7–10).
+//
+// The implementation favours predictability over generality: fixed margins,
+// a small qualitative palette, linear axes with "nice" tick steps, and
+// deterministic output (no randomness, no timestamps) so figures are
+// byte-identical across runs.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Size and layout constants shared by all charts.
+const (
+	defaultWidth  = 640
+	defaultHeight = 400
+
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 70
+)
+
+// palette is a small colour-blind-friendly qualitative palette.
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+// Color returns the i-th palette colour (cycled).
+func Color(i int) string { return palette[i%len(palette)] }
+
+// svgBuilder accumulates SVG elements.
+type svgBuilder struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newSVG(w, h int) *svgBuilder {
+	if w <= 0 {
+		w = defaultWidth
+	}
+	if h <= 0 {
+		h = defaultHeight
+	}
+	s := &svgBuilder{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&s.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return s
+}
+
+func (s *svgBuilder) finish() string {
+	s.b.WriteString("</svg>\n")
+	return s.b.String()
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&s.b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n", x1, y1, x2, y2, stroke, width)
+}
+
+func (s *svgBuilder) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&s.b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+func (s *svgBuilder) polyline(points []point, stroke string, width float64) {
+	if len(points) == 0 {
+		return
+	}
+	var sb strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.2f,%.2f", p.x, p.y)
+	}
+	fmt.Fprintf(&s.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n", sb.String(), stroke, width)
+}
+
+// text emits escaped text. anchor: start, middle, end.
+func (s *svgBuilder) text(x, y float64, size int, anchor, content string) {
+	fmt.Fprintf(&s.b, `<text x="%.2f" y="%.2f" font-size="%d" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, escape(content))
+}
+
+// textRotated emits text rotated by deg around its anchor point.
+func (s *svgBuilder) textRotated(x, y float64, size int, anchor string, deg float64, content string) {
+	fmt.Fprintf(&s.b, `<text x="%.2f" y="%.2f" font-size="%d" text-anchor="%s" transform="rotate(%.1f %.2f %.2f)">%s</text>`+"\n",
+		x, y, size, anchor, deg, x, y, escape(content))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+type point struct{ x, y float64 }
+
+// axis maps data values to pixel coordinates.
+type axis struct {
+	min, max float64
+	lo, hi   float64 // pixel range
+}
+
+func (a axis) scale(v float64) float64 {
+	if a.max == a.min {
+		return (a.lo + a.hi) / 2
+	}
+	return a.lo + (v-a.min)/(a.max-a.min)*(a.hi-a.lo)
+}
+
+// niceTicks returns ~n round tick values spanning [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+		if span/step <= float64(n)*2 {
+			break
+		}
+		step *= 2.5
+	}
+	for span/step < float64(n)/2 {
+		step /= 2
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+	}
+}
+
+// drawFrame draws the title, plot frame, y grid/ticks and axis labels, and
+// returns the configured y-axis.
+func drawFrame(s *svgBuilder, title, xlabel, ylabel string, yMin, yMax float64) axis {
+	plotBottom := float64(s.h - marginBottom)
+	plotTop := float64(marginTop)
+	y := axis{min: yMin, max: yMax, lo: plotBottom, hi: plotTop}
+
+	s.text(float64(s.w)/2, 22, 14, "middle", title)
+	s.text(float64(s.w)/2, float64(s.h)-12, 12, "middle", xlabel)
+	s.textRotated(16, float64(s.h)/2, 12, "middle", -90, ylabel)
+
+	for _, tv := range niceTicks(yMin, yMax, 5) {
+		py := y.scale(tv)
+		s.line(marginLeft, py, float64(s.w-marginRight), py, "#e0e0e0", 1)
+		s.text(marginLeft-6, py+4, 10, "end", formatTick(tv))
+	}
+	// Frame axes on top of the grid.
+	s.line(marginLeft, plotTop, marginLeft, plotBottom, "#333333", 1.5)
+	s.line(marginLeft, plotBottom, float64(s.w-marginRight), plotBottom, "#333333", 1.5)
+	return y
+}
+
+// drawLegend renders a simple swatch legend in the top-right corner.
+func drawLegend(s *svgBuilder, names []string) {
+	x := float64(s.w - marginRight - 150)
+	yPos := float64(marginTop + 4)
+	for i, name := range names {
+		s.rect(x, yPos-8, 10, 10, Color(i))
+		s.text(x+14, yPos+1, 10, "start", name)
+		yPos += 14
+	}
+}
+
+// WriteFile renders chart content (from one of the Render* functions) to a
+// file.
+func WriteFile(path, svg string) error {
+	return os.WriteFile(path, []byte(svg), 0o644)
+}

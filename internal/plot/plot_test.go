@@ -1,0 +1,181 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// assertValidSVG parses the output as XML and checks the root element.
+func assertValidSVG(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	rootSeen := false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+		if se, ok := tok.(xml.StartElement); ok && !rootSeen {
+			if se.Name.Local != "svg" {
+				t.Fatalf("root element %q, want svg", se.Name.Local)
+			}
+			rootSeen = true
+		}
+	}
+	if !rootSeen {
+		t.Fatal("no root element")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := BarChart{
+		Title:  "Figure 2 <runtime> & friends", // exercises escaping
+		XLabel: "strategy",
+		YLabel: "seconds",
+		Groups: []string{"UR", "EF", "GD"},
+		Series: []string{"transe", "distmult"},
+		Values: [][]float64{{1, 2, 3}, {2, 1, 0.5}},
+	}
+	svg := c.Render()
+	assertValidSVG(t, svg)
+	if !strings.Contains(svg, "&lt;runtime&gt;") {
+		t.Error("title not escaped")
+	}
+	if strings.Count(svg, "<rect") < 7 { // 6 bars + background + legend swatches
+		t.Error("missing bars")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	assertValidSVG(t, BarChart{Title: "empty"}.Render())
+	assertValidSVG(t, BarChart{Groups: []string{"a"}, Series: []string{"s"}, Values: [][]float64{{0}}}.Render())
+}
+
+func TestHistogramRender(t *testing.T) {
+	c := Histogram{
+		Title:  "Figure 3",
+		XLabel: "clustering coefficient",
+		YLabel: "nodes",
+		Edges:  []float64{0, 0.25, 0.5, 0.75, 1},
+		Counts: []int{10, 5, 3, 1},
+		Mean:   0.3,
+	}
+	svg := c.Render()
+	assertValidSVG(t, svg)
+	if !strings.Contains(svg, "mean") {
+		t.Error("mean marker missing")
+	}
+}
+
+func TestHistogramNoMean(t *testing.T) {
+	c := Histogram{
+		Edges:  []float64{0, 1},
+		Counts: []int{3},
+		Mean:   math.NaN(),
+	}
+	svg := c.Render()
+	assertValidSVG(t, svg)
+	if strings.Contains(svg, "mean") {
+		t.Error("NaN mean should suppress the marker")
+	}
+}
+
+func TestHistogramMalformedEdges(t *testing.T) {
+	assertValidSVG(t, Histogram{Edges: []float64{0}, Counts: []int{1, 2}, Mean: math.NaN()}.Render())
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := LineChart{
+		Title:  "Figure 7",
+		XLabel: "max_candidates",
+		YLabel: "seconds",
+		X:      []float64{50, 100, 200, 500},
+		Series: []string{"top_n=100", "top_n=500"},
+		Values: [][]float64{{1, 2, 4, 9}, {1.1, 2.2, 4.1, 9.3}},
+	}
+	svg := c.Render()
+	assertValidSVG(t, svg)
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polyline count = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	assertValidSVG(t, LineChart{Title: "x"}.Render())
+}
+
+func TestScatterRender(t *testing.T) {
+	c := Scatter{
+		Title:  "Figure 5",
+		XLabel: "node",
+		YLabel: "triangles",
+		X:      []float64{0, 1, 2, 3},
+		Y:      []float64{10, 0, 5, 2},
+	}
+	svg := c.Render()
+	assertValidSVG(t, svg)
+	if strings.Count(svg, "<circle") < 4 {
+		t.Error("missing points")
+	}
+}
+
+func TestScatterMismatchedInput(t *testing.T) {
+	assertValidSVG(t, Scatter{X: []float64{1}, Y: []float64{1, 2}}.Render())
+}
+
+func TestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chart.svg")
+	if err := WriteFile(path, BarChart{Title: "t"}.Render()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("file missing: %v", err)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10, 5)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate range ticks = %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{{0, "0"}, {1500000, "1.5e+06"}, {250, "250"}, {1.5, "1.5"}, {0.25, "0.25"}} {
+		if got := formatTick(tc.v); got != tc.want {
+			t.Errorf("formatTick(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestColorCycles(t *testing.T) {
+	if Color(0) == "" || Color(0) != Color(len(palette)) {
+		t.Error("palette does not cycle")
+	}
+}

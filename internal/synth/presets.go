@@ -1,0 +1,138 @@
+package synth
+
+// The presets below stand in for the paper's four benchmarks (Table 1). The
+// paper's relation counts are kept exactly — runtime of the discovery
+// algorithm scales with the number of relations, which is central to
+// Figure 2's story — while entity and triple counts are divided by `scale`
+// (≥ 1). Triples-per-entity density ratios and the clustering-coefficient
+// ordering (FB15K-237 densest, WN18RR sparsest) follow the paper's Figure 3.
+//
+// Paper Table 1 reference:
+//
+//	FB15K-237:  272,115 train  14,541 entities  237 relations  (dense)
+//	WN18RR:      86,835 train  40,943 entities   11 relations  (sparse)
+//	YAGO3-10: 1,079,040 train 123,182 entities   37 relations  (largest)
+//	CoDEx-L:    550,800 train  77,951 entities   69 relations  (mid)
+
+func clampScale(scale int) int {
+	if scale < 1 {
+		return 1
+	}
+	return scale
+}
+
+// FB15K237Sim mirrors FB15K-237 at 1/scale size: the densest dataset with by
+// far the most relations and the highest clustering coefficients.
+func FB15K237Sim(scale int) Config {
+	scale = clampScale(scale)
+	return Config{
+		Name:         "fb15k237-sim",
+		NumEntities:  max2(14541/scale, 60),
+		NumRelations: 237,
+		NumTriples:   max2(310079/scale, 3000), // train+valid+test
+		NumTypes:     12,
+		EntityZipf:   1.0,
+		RelationZipf: 0.9,
+		ClosureProb:  0.38,
+		NoiseProb:    0.05,
+		ValidFrac:    0.0565, // 17,535 / 310,079
+		TestFrac:     0.0659, // 20,429 / 310,079
+		Seed:         237,
+	}
+}
+
+// WN18RRSim mirrors WN18RR at 1/scale size: very sparse (≈2.3 triples per
+// entity), only 11 relations, lowest clustering coefficients.
+func WN18RRSim(scale int) Config {
+	scale = clampScale(scale)
+	return Config{
+		Name:         "wn18rr-sim",
+		NumEntities:  max2(40943/scale, 120),
+		NumRelations: 11,
+		NumTriples:   max2(93003/scale, 1200),
+		NumTypes:     10,
+		EntityZipf:   0.6, // lexical graphs are less head-heavy
+		RelationZipf: 0.8,
+		ClosureProb:  0.02,
+		NoiseProb:    0.05,
+		ValidFrac:    0.0326,
+		TestFrac:     0.0337,
+		Seed:         18,
+	}
+}
+
+// YAGO310Sim mirrors YAGO3-10 at 1/scale size: the largest dataset, moderate
+// density (every entity has ≥ 10 relations in the original), 37 relations.
+func YAGO310Sim(scale int) Config {
+	scale = clampScale(scale)
+	return Config{
+		Name:         "yago310-sim",
+		NumEntities:  max2(123182/scale, 200),
+		NumRelations: 37,
+		NumTriples:   max2(1089040/scale, 4000),
+		NumTypes:     10,
+		EntityZipf:   1.1,
+		RelationZipf: 1.0,
+		ClosureProb:  0.16,
+		NoiseProb:    0.05,
+		ValidFrac:    0.0046,
+		TestFrac:     0.0046,
+		Seed:         310,
+	}
+}
+
+// CoDExLSim mirrors CoDEx-L at 1/scale size: mid-sized, 69 relations, 90:5:5
+// split with no unseen entities in valid/test.
+func CoDExLSim(scale int) Config {
+	scale = clampScale(scale)
+	return Config{
+		Name:         "codexl-sim",
+		NumEntities:  max2(77951/scale, 150),
+		NumRelations: 69,
+		NumTriples:   max2(612000/scale, 3500),
+		NumTypes:     10,
+		EntityZipf:   1.0,
+		RelationZipf: 0.9,
+		ClosureProb:  0.13,
+		NoiseProb:    0.05,
+		ValidFrac:    0.05,
+		TestFrac:     0.05,
+		Seed:         612,
+	}
+}
+
+// Tiny is a minimal well-formed dataset for unit and integration tests.
+func Tiny() Config {
+	return Config{
+		Name:         "tiny",
+		NumEntities:  80,
+		NumRelations: 6,
+		NumTriples:   600,
+		NumTypes:     4,
+		EntityZipf:   1.0,
+		RelationZipf: 0.8,
+		ClosureProb:  0.25,
+		NoiseProb:    0.05,
+		ValidFrac:    0.05,
+		TestFrac:     0.05,
+		Seed:         7,
+	}
+}
+
+// AllPresets returns the four paper-dataset presets at the given scale, in
+// the order the paper lists them.
+func AllPresets(scale int) []Config {
+	return []Config{
+		FB15K237Sim(scale),
+		WN18RRSim(scale),
+		YAGO310Sim(scale),
+		CoDExLSim(scale),
+	}
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,236 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/graphstats"
+	"repro/internal/kg"
+)
+
+func TestGenerateGraphMeetsTargets(t *testing.T) {
+	cfg := Tiny()
+	g, err := GenerateGraph(cfg)
+	if err != nil {
+		t.Fatalf("GenerateGraph: %v", err)
+	}
+	if g.Len() != cfg.NumTriples {
+		t.Errorf("triples = %d, want %d", g.Len(), cfg.NumTriples)
+	}
+	if g.NumEntities() != cfg.NumEntities {
+		t.Errorf("entities = %d, want %d", g.NumEntities(), cfg.NumEntities)
+	}
+	if g.NumRelations() != cfg.NumRelations {
+		t.Errorf("relations = %d, want %d", g.NumRelations(), cfg.NumRelations)
+	}
+}
+
+func TestGenerateGraphCoversEveryEntity(t *testing.T) {
+	g, err := GenerateGraph(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < g.NumEntities(); e++ {
+		if g.Degree(kg.EntityID(e)) == 0 {
+			t.Errorf("entity %d is isolated", e)
+		}
+	}
+}
+
+func TestGenerateGraphNoSelfLoops(t *testing.T) {
+	g, err := GenerateGraph(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range g.Triples() {
+		if tr.S == tr.O {
+			t.Fatalf("self-loop generated: %v", tr)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := GenerateGraph(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateGraph(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for _, tr := range a.Triples() {
+		if !b.Contains(tr) {
+			t.Fatalf("same config+seed produced different graphs")
+		}
+	}
+}
+
+func TestGenerateSplitsShareDicts(t *testing.T) {
+	ds, err := Generate(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Train.Entities != ds.Valid.Entities || ds.Train.Entities != ds.Test.Entities {
+		t.Error("splits do not share the entity dictionary")
+	}
+	if ds.Valid.Len() == 0 || ds.Test.Len() == 0 {
+		t.Errorf("degenerate splits: valid=%d test=%d", ds.Valid.Len(), ds.Test.Len())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := Tiny()
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.NumEntities = 1 },
+		func(c *Config) { c.NumRelations = 0 },
+		func(c *Config) { c.NumTriples = 10 }, // < entities/2
+		func(c *Config) { c.NumTypes = 0 },
+		func(c *Config) { c.ClosureProb = 1.5 },
+		func(c *Config) { c.NoiseProb = -0.1 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", cfg)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("Validate rejected the tiny preset: %v", err)
+	}
+}
+
+func TestClosureProbabilityRaisesClustering(t *testing.T) {
+	lo := Tiny()
+	lo.ClosureProb = 0.0
+	lo.Seed = 99
+	hi := Tiny()
+	hi.ClosureProb = 0.5
+	hi.Seed = 99
+
+	gLo, err := GenerateGraph(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gHi, err := GenerateGraph(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cLo := graphstats.Mean(graphstats.BuildUndirected(gLo).LocalClustering(nil))
+	cHi := graphstats.Mean(graphstats.BuildUndirected(gHi).LocalClustering(nil))
+	if cHi <= cLo {
+		t.Errorf("closure prob did not raise clustering: %.4f (0.0) vs %.4f (0.5)", cLo, cHi)
+	}
+}
+
+func TestPopularitySkew(t *testing.T) {
+	// With Zipf 1.0 popularity, the top decile of entities should carry a
+	// disproportionate share of the degree mass.
+	g, err := GenerateGraph(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	degrees := make([]int64, g.NumEntities())
+	var total int64
+	for e := range degrees {
+		degrees[e] = g.Degree(kg.EntityID(e))
+		total += degrees[e]
+	}
+	// Sort descending.
+	for i := 0; i < len(degrees); i++ {
+		for j := i + 1; j < len(degrees); j++ {
+			if degrees[j] > degrees[i] {
+				degrees[i], degrees[j] = degrees[j], degrees[i]
+			}
+		}
+	}
+	top := len(degrees) / 10
+	var topMass int64
+	for _, d := range degrees[:top] {
+		topMass += d
+	}
+	if share := float64(topMass) / float64(total); share < 0.2 {
+		t.Errorf("top 10%% of entities hold only %.1f%% of degree mass; expected a popularity head", share*100)
+	}
+}
+
+func TestPresetsMatchPaperShapes(t *testing.T) {
+	const scale = 100
+	fb := FB15K237Sim(scale)
+	wn := WN18RRSim(scale)
+	yago := YAGO310Sim(scale)
+	codex := CoDExLSim(scale)
+
+	// Relation counts are the paper's, exactly.
+	if fb.NumRelations != 237 || wn.NumRelations != 11 || yago.NumRelations != 37 || codex.NumRelations != 69 {
+		t.Errorf("relation counts drifted: %d %d %d %d",
+			fb.NumRelations, wn.NumRelations, yago.NumRelations, codex.NumRelations)
+	}
+	// Density ordering: FB dense, WN sparse.
+	density := func(c Config) float64 { return float64(c.NumTriples) / float64(c.NumEntities) }
+	if !(density(fb) > density(yago) && density(yago) > density(wn)) {
+		t.Errorf("density ordering broken: fb=%.1f yago=%.1f wn=%.1f",
+			density(fb), density(yago), density(wn))
+	}
+	// YAGO is the largest by triples at equal scale.
+	if !(yago.NumTriples > codex.NumTriples && codex.NumTriples > fb.NumTriples && fb.NumTriples > wn.NumTriples) {
+		t.Errorf("size ordering broken: yago=%d codex=%d fb=%d wn=%d",
+			yago.NumTriples, codex.NumTriples, fb.NumTriples, wn.NumTriples)
+	}
+	// Clustering knob ordering drives Figure 3: FB highest, WN lowest.
+	if !(fb.ClosureProb > yago.ClosureProb && yago.ClosureProb > codex.ClosureProb && codex.ClosureProb > wn.ClosureProb) {
+		t.Errorf("closure ordering broken")
+	}
+}
+
+func TestPresetsGenerateAtTestScale(t *testing.T) {
+	for _, cfg := range AllPresets(400) {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			ds, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("Generate(%s): %v", cfg.Name, err)
+			}
+			if ds.Train.Len() == 0 || ds.Valid.Len() == 0 || ds.Test.Len() == 0 {
+				t.Errorf("%s: empty split: %v", cfg.Name, ds.Metadata())
+			}
+		})
+	}
+}
+
+func TestScaleClamped(t *testing.T) {
+	cfg := FB15K237Sim(0) // clamped to 1 → full size targets
+	if cfg.NumEntities != 14541 {
+		t.Errorf("scale 0 should clamp to 1: entities = %d", cfg.NumEntities)
+	}
+	neg := WN18RRSim(-5)
+	if neg.NumEntities != 40943 {
+		t.Errorf("negative scale should clamp to 1: entities = %d", neg.NumEntities)
+	}
+}
+
+func TestClusteringOrderingAcrossPresets(t *testing.T) {
+	// The generated datasets must reproduce Figure 3's ordering: FB15K-237
+	// has the highest average clustering coefficient, WN18RR the lowest.
+	means := make(map[string]float64)
+	for _, cfg := range AllPresets(200) {
+		g, err := GenerateGraph(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		u := graphstats.BuildUndirected(g)
+		means[cfg.Name] = graphstats.Mean(u.LocalClustering(nil))
+	}
+	t.Logf("clustering means: %v", means)
+	if !(means["fb15k237-sim"] > means["yago310-sim"]) {
+		t.Errorf("fb (%.4f) should exceed yago (%.4f)", means["fb15k237-sim"], means["yago310-sim"])
+	}
+	if !(means["yago310-sim"] > means["wn18rr-sim"]) {
+		t.Errorf("yago (%.4f) should exceed wn (%.4f)", means["yago310-sim"], means["wn18rr-sim"])
+	}
+	if !(means["codexl-sim"] > means["wn18rr-sim"]) {
+		t.Errorf("codex (%.4f) should exceed wn (%.4f)", means["codexl-sim"], means["wn18rr-sim"])
+	}
+}

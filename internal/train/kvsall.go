@@ -1,0 +1,216 @@
+package train
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/kg"
+	"repro/internal/kge"
+	"repro/internal/vecmath"
+)
+
+// KvsAll ("1-N") training, LibKGE's KvsAll train type and the procedure of
+// the original ConvE paper: instead of contrasting each positive against k
+// sampled corruptions, every distinct (s, r) context in the training graph
+// is scored against all entities at once and optimized with binary
+// cross-entropy against the multi-hot vector of its true objects. One
+// forward/backward pass per context covers N implicit negatives, which is
+// what makes ConvE trainable in practice.
+
+// kvsContext is one training example: a context and its true objects.
+type kvsContext struct {
+	s       kg.EntityID
+	r       kg.RelationID
+	objects []kg.EntityID
+}
+
+// buildKvsContexts groups the training triples by (s, r).
+func buildKvsContexts(g *kg.Graph) []kvsContext {
+	type key struct {
+		s kg.EntityID
+		r kg.RelationID
+	}
+	grouped := make(map[key][]kg.EntityID)
+	for _, t := range g.Triples() {
+		k := key{t.S, t.R}
+		grouped[k] = append(grouped[k], t.O)
+	}
+	out := make([]kvsContext, 0, len(grouped))
+	for k, objs := range grouped {
+		out = append(out, kvsContext{s: k.s, r: k.r, objects: objs})
+	}
+	return out
+}
+
+// RunKvsAll trains model with the KvsAll objective. The model must
+// implement kge.KvsAllTrainable (all six models here do). cfg fields
+// NegSamples, Loss, FilteredNegatives and BernoulliNegatives are ignored —
+// the objective replaces negative sampling entirely. LabelSmoothing (e.g.
+// 0.1, the ConvE paper's value) smooths the multi-hot targets.
+func RunKvsAll(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Config, labelSmoothing float32) (History, error) {
+	kvs, ok := model.(kge.KvsAllTrainable)
+	if !ok {
+		return History{}, fmt.Errorf("train: model %s does not support KvsAll training", model.Name())
+	}
+	cfg.setDefaults(model)
+	if ds.Train.Len() == 0 {
+		return History{}, fmt.Errorf("train: empty training graph")
+	}
+	if labelSmoothing < 0 || labelSmoothing >= 1 {
+		return History{}, fmt.Errorf("train: label smoothing %g outside [0, 1)", labelSmoothing)
+	}
+
+	contexts := buildKvsContexts(ds.Train)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := model.NumEntities()
+
+	var hist History
+	var best float64
+	var bestParams map[string][]float32
+	sinceBest := 0
+
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return hist, err
+		}
+		start := time.Now()
+		rng.Shuffle(len(contexts), func(i, j int) { contexts[i], contexts[j] = contexts[j], contexts[i] })
+
+		var epochLoss float64
+		for lo := 0; lo < len(contexts); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(contexts) {
+				hi = len(contexts)
+			}
+			epochLoss += runKvsBatch(kvs, contexts[lo:hi], n, cfg, labelSmoothing)
+		}
+		epochLoss /= float64(len(contexts))
+
+		stats := EpochStats{Epoch: epoch, Loss: epochLoss, Duration: time.Since(start)}
+		if cfg.Validate != nil && epoch%cfg.EvalEvery == 0 {
+			metric := cfg.Validate(model)
+			stats.Validation = metric
+			if metric > best {
+				best = metric
+				sinceBest = 0
+				bestParams = snapshotParams(model)
+			} else {
+				sinceBest++
+			}
+			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+				hist.Epochs = append(hist.Epochs, stats)
+				hist.Stopped = true
+				break
+			}
+		}
+		hist.Epochs = append(hist.Epochs, stats)
+		if cfg.Progress != nil {
+			cfg.Progress("epoch %3d  loss %.5f  valid %.4f  (%s)",
+				epoch, stats.Loss, stats.Validation, stats.Duration.Round(time.Millisecond))
+		}
+	}
+	hist.Best = best
+	if bestParams != nil {
+		restoreParams(model, bestParams)
+	}
+	return hist, nil
+}
+
+// runKvsBatch processes one batch of contexts (sharded across workers) and
+// applies a single optimizer step. Returns the summed mean-per-entity BCE
+// loss over the batch.
+func runKvsBatch(model kge.KvsAllTrainable, batch []kvsContext, n int, cfg Config, smoothing float32) float64 {
+	workers := cfg.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type shardResult struct {
+		gb   *kge.GradBuffer
+		loss float64
+	}
+	results := make([]shardResult, workers)
+	var wg sync.WaitGroup
+	per := (len(batch) + workers - 1) / workers
+	invBatch := 1 / float32(len(batch))
+	invN := 1 / float32(n)
+
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			gb := kge.NewGradBuffer(model.Params())
+			scores := make([]float32, n)
+			upstream := make([]float32, n)
+			var loss float64
+			for _, c := range batch[lo:hi] {
+				model.ScoreAllObjects(c.s, c.r, scores)
+				// Multi-hot targets with label smoothing.
+				posLabel := (1-smoothing)*1 + smoothing*invN
+				negLabel := smoothing * invN
+				isPos := make(map[kg.EntityID]bool, len(c.objects))
+				for _, o := range c.objects {
+					isPos[o] = true
+				}
+				var ctxLoss float64
+				for o := 0; o < n; o++ {
+					y := negLabel
+					if isPos[kg.EntityID(o)] {
+						y = posLabel
+					}
+					p := vecmath.Sigmoid(scores[o])
+					// BCE loss and its gradient w.r.t. the raw score.
+					ctxLoss += bce(scores[o], y)
+					upstream[o] = (p - y) * invBatch * invN
+				}
+				loss += ctxLoss * float64(invN)
+				model.AccumulateGradAllObjects(c.s, c.r, upstream, gb)
+			}
+			results[w] = shardResult{gb: gb, loss: loss}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var merged *kge.GradBuffer
+	var totalLoss float64
+	for _, r := range results {
+		if r.gb == nil {
+			continue
+		}
+		totalLoss += r.loss
+		if merged == nil {
+			merged = r.gb
+		} else {
+			merged.Merge(r.gb)
+		}
+	}
+	if merged == nil {
+		return 0
+	}
+	if cfg.L2 > 0 {
+		merged.ForEach(func(p *kge.Param, row int, grad []float32) {
+			vecmath.Axpy(cfg.L2, p.M.Row(row), grad)
+		})
+	}
+	cfg.Optimizer.Step(merged)
+	model.PostBatch()
+	return totalLoss
+}
+
+// bce is the numerically stable binary cross-entropy on a raw score:
+// softplus(score) − y·score.
+func bce(score, y float32) float64 {
+	return float64(vecmath.Softplus(score) - y*score)
+}

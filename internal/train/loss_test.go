@@ -1,0 +1,125 @@
+package train
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarginRankingKnownValues(t *testing.T) {
+	l := MarginRanking{Margin: 1}
+	var gradPos float32
+	gradNegs := make([]float32, 2)
+
+	// pos far above both negatives: no violation, zero loss and gradients.
+	loss := l.Eval(5, []float32{1, 2}, &gradPos, gradNegs)
+	if loss != 0 || gradPos != 0 || gradNegs[0] != 0 || gradNegs[1] != 0 {
+		t.Errorf("satisfied margin: loss=%g gradPos=%g gradNegs=%v", loss, gradPos, gradNegs)
+	}
+
+	// pos=1, neg=1: violation of exactly the margin.
+	loss = l.Eval(1, []float32{1, -5}, &gradPos, gradNegs)
+	if loss != 1 {
+		t.Errorf("loss = %g, want 1", loss)
+	}
+	if gradPos != -1 {
+		t.Errorf("gradPos = %g, want -1", gradPos)
+	}
+	if gradNegs[0] != 1 || gradNegs[1] != 0 {
+		t.Errorf("gradNegs = %v, want [1 0]", gradNegs)
+	}
+}
+
+func TestMarginDefaultsToOne(t *testing.T) {
+	l := MarginRanking{}
+	var gradPos float32
+	gradNegs := make([]float32, 1)
+	if loss := l.Eval(0, []float32{0}, &gradPos, gradNegs); loss != 1 {
+		t.Errorf("zero-margin default broken: loss = %g, want 1", loss)
+	}
+}
+
+func TestLogisticKnownValues(t *testing.T) {
+	l := Logistic{}
+	var gradPos float32
+	gradNegs := make([]float32, 1)
+	loss := l.Eval(0, []float32{0}, &gradPos, gradNegs)
+	want := 2 * math.Ln2 // softplus(0) twice
+	if math.Abs(float64(loss)-want) > 1e-5 {
+		t.Errorf("loss = %g, want %g", loss, want)
+	}
+	if math.Abs(float64(gradPos)+0.5) > 1e-5 {
+		t.Errorf("gradPos = %g, want -0.5", gradPos)
+	}
+	if math.Abs(float64(gradNegs[0])-0.5) > 1e-5 {
+		t.Errorf("gradNeg = %g, want 0.5", gradNegs[0])
+	}
+}
+
+// Property: logistic loss decreases in pos and increases in neg, and its
+// gradients have the corresponding signs everywhere.
+func TestPropertyLogisticMonotone(t *testing.T) {
+	l := Logistic{}
+	f := func(pos, neg float32) bool {
+		if pos > 20 || pos < -20 || neg > 20 || neg < -20 {
+			return true // avoid saturated regions where float32 rounds to 0
+		}
+		var gradPos float32
+		gradNegs := make([]float32, 1)
+		l.Eval(pos, []float32{neg}, &gradPos, gradNegs)
+		return gradPos <= 0 && gradNegs[0] >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: margin loss is non-negative and gradients appear only for
+// violated pairs.
+func TestPropertyMarginNonNegative(t *testing.T) {
+	l := MarginRanking{Margin: 2}
+	f := func(pos float32, negs [3]float32) bool {
+		var gradPos float32
+		gradNegs := make([]float32, 3)
+		loss := l.Eval(pos, negs[:], &gradPos, gradNegs)
+		if loss < 0 {
+			return false
+		}
+		for i, n := range negs {
+			violated := 2-pos+n > 0
+			if violated != (gradNegs[i] != 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossByName(t *testing.T) {
+	for _, name := range []string{"margin", "margin_ranking", "logistic", "bce"} {
+		if _, err := LossByName(name); err != nil {
+			t.Errorf("LossByName(%s): %v", name, err)
+		}
+	}
+	if _, err := LossByName("hinge-of-doom"); err == nil {
+		t.Error("accepted unknown loss")
+	}
+}
+
+func TestDefaultLossFor(t *testing.T) {
+	if _, ok := DefaultLossFor("transe").(MarginRanking); !ok {
+		t.Error("transe default should be margin ranking")
+	}
+	if _, ok := DefaultLossFor("hole").(MarginRanking); !ok {
+		t.Error("hole default should be margin ranking")
+	}
+	if _, ok := DefaultLossFor("complex").(Logistic); !ok {
+		t.Error("complex default should be logistic")
+	}
+	if _, ok := DefaultLossFor("conve").(Logistic); !ok {
+		t.Error("conve default should be logistic")
+	}
+}

@@ -1,0 +1,122 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kge"
+	"repro/internal/vecmath"
+)
+
+// Optimizer applies one accumulated sparse gradient step to a model's
+// parameters. Implementations keep per-parameter state keyed by row, so only
+// the rows a batch touched pay any cost ("lazy" updates, the standard
+// approach for embedding tables).
+type Optimizer interface {
+	Name() string
+	Step(gb *kge.GradBuffer)
+}
+
+// NewSGD returns plain stochastic gradient descent with learning rate lr.
+func NewSGD(lr float32) Optimizer { return &sgd{lr: lr} }
+
+type sgd struct{ lr float32 }
+
+func (s *sgd) Name() string { return "sgd" }
+
+func (s *sgd) Step(gb *kge.GradBuffer) {
+	gb.ForEach(func(p *kge.Param, row int, grad []float32) {
+		vecmath.Axpy(-s.lr, grad, p.M.Row(row))
+	})
+}
+
+// NewAdagrad returns Adagrad (Duchi et al., 2011) with learning rate lr.
+func NewAdagrad(lr float32) Optimizer {
+	return &adagrad{lr: lr, eps: 1e-8, accum: map[string][]float32{}}
+}
+
+type adagrad struct {
+	lr    float32
+	eps   float32
+	accum map[string][]float32 // per parameter: squared-gradient accumulator
+}
+
+func (a *adagrad) Name() string { return "adagrad" }
+
+func (a *adagrad) Step(gb *kge.GradBuffer) {
+	gb.ForEach(func(p *kge.Param, row int, grad []float32) {
+		acc, ok := a.accum[p.Name]
+		if !ok {
+			acc = make([]float32, len(p.M.Data))
+			a.accum[p.Name] = acc
+		}
+		w := p.M.Row(row)
+		base := row * p.M.Cols
+		for i, g := range grad {
+			acc[base+i] += g * g
+			w[i] -= a.lr * g / (float32(math.Sqrt(float64(acc[base+i]))) + a.eps)
+		}
+	})
+}
+
+// NewAdam returns Adam (Kingma & Ba, 2014) with the given learning rate and
+// the standard β₁=0.9, β₂=0.999, ε=1e-8. This is the optimizer the paper
+// uses for all models. Bias correction is tracked per row, which is the
+// correct "lazy Adam" treatment for sparsely updated embedding tables.
+func NewAdam(lr float32) Optimizer {
+	return &adam{
+		lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8,
+		m: map[string][]float32{}, v: map[string][]float32{}, t: map[string][]int32{},
+	}
+}
+
+type adam struct {
+	lr, beta1, beta2, eps float32
+
+	m map[string][]float32 // first-moment estimates
+	v map[string][]float32 // second-moment estimates
+	t map[string][]int32   // per-row step counts for bias correction
+}
+
+func (a *adam) Name() string { return "adam" }
+
+func (a *adam) Step(gb *kge.GradBuffer) {
+	gb.ForEach(func(p *kge.Param, row int, grad []float32) {
+		m, ok := a.m[p.Name]
+		if !ok {
+			m = make([]float32, len(p.M.Data))
+			a.m[p.Name] = m
+			a.v[p.Name] = make([]float32, len(p.M.Data))
+			a.t[p.Name] = make([]int32, p.M.Rows)
+		}
+		v := a.v[p.Name]
+		a.t[p.Name][row]++
+		t := float64(a.t[p.Name][row])
+		c1 := float32(1 - math.Pow(float64(a.beta1), t))
+		c2 := float32(1 - math.Pow(float64(a.beta2), t))
+
+		w := p.M.Row(row)
+		base := row * p.M.Cols
+		for i, g := range grad {
+			m[base+i] = a.beta1*m[base+i] + (1-a.beta1)*g
+			v[base+i] = a.beta2*v[base+i] + (1-a.beta2)*g*g
+			mh := m[base+i] / c1
+			vh := v[base+i] / c2
+			w[i] -= a.lr * mh / (float32(math.Sqrt(float64(vh))) + a.eps)
+		}
+	})
+}
+
+// OptimizerByName resolves an optimizer from its CLI name.
+func OptimizerByName(name string, lr float32) (Optimizer, error) {
+	switch name {
+	case "adam":
+		return NewAdam(lr), nil
+	case "adagrad":
+		return NewAdagrad(lr), nil
+	case "sgd":
+		return NewSGD(lr), nil
+	default:
+		return nil, fmt.Errorf("train: unknown optimizer %q (supported: adam, adagrad, sgd)", name)
+	}
+}

@@ -1,0 +1,283 @@
+package train
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/kg"
+	"repro/internal/kge"
+	"repro/internal/vecmath"
+)
+
+// Config parameterizes a training run.
+type Config struct {
+	// Epochs is the maximum number of passes over the training triples.
+	Epochs int
+	// BatchSize is the number of positive triples per optimizer step.
+	BatchSize int
+	// NegSamples is the number of corruptions per positive.
+	NegSamples int
+	// Loss defaults to DefaultLossFor(model.Name()).
+	Loss Loss
+	// Optimizer defaults to Adam with LearningRate.
+	Optimizer Optimizer
+	// LearningRate is used when Optimizer is nil; zero means 0.05.
+	LearningRate float32
+	// L2 is the weight-decay coefficient applied (sparsely) to every
+	// parameter row a batch touches.
+	L2 float32
+	// Workers is the gradient-computation parallelism; zero means
+	// GOMAXPROCS.
+	Workers int
+	// Seed drives shuffling and negative sampling.
+	Seed int64
+	// FilteredNegatives re-draws corruptions that are true training triples.
+	FilteredNegatives bool
+	// BernoulliNegatives fits per-relation corruption-side probabilities
+	// (Wang et al., 2014) instead of the uniform 50/50 side choice.
+	BernoulliNegatives bool
+
+	// Validate, when non-nil, is called every EvalEvery epochs with the
+	// current model; it returns a metric where higher is better (e.g.
+	// validation MRR). Training stops early when the metric has not
+	// improved for Patience consecutive evaluations (Patience 0 disables
+	// early stopping).
+	Validate  func(m kge.Model) float64
+	EvalEvery int
+	Patience  int
+
+	// Progress, when non-nil, receives one line per epoch.
+	Progress func(format string, args ...any)
+}
+
+func (c *Config) setDefaults(model kge.Trainable) {
+	if c.Epochs == 0 {
+		c.Epochs = 50
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 128
+	}
+	if c.NegSamples == 0 {
+		c.NegSamples = 4
+	}
+	if c.Loss == nil {
+		c.Loss = DefaultLossFor(model.Name())
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Optimizer == nil {
+		c.Optimizer = NewAdam(c.LearningRate)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 5
+	}
+}
+
+// EpochStats records one epoch of training for the returned history.
+type EpochStats struct {
+	Epoch      int
+	Loss       float64 // mean loss per positive triple
+	Duration   time.Duration
+	Validation float64 // metric from Config.Validate; NaN-free: 0 when unset
+}
+
+// History is the per-epoch record of a training run.
+type History struct {
+	Epochs []EpochStats
+	// Best is the best validation metric seen (0 when Validate is unset).
+	Best float64
+	// Stopped reports whether early stopping triggered.
+	Stopped bool
+}
+
+// Run trains model on ds.Train per cfg. It returns the training history.
+// The model is mutated in place; with early stopping the parameters from
+// the best validation epoch are restored before returning.
+func Run(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Config) (History, error) {
+	cfg.setDefaults(model)
+	if ds.Train.Len() == 0 {
+		return History{}, fmt.Errorf("train: empty training graph")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	triples := make([]kg.Triple, ds.Train.Len())
+	copy(triples, ds.Train.Triples())
+
+	sampler := &NegativeSampler{
+		NumEntities: model.NumEntities(),
+		Filtered:    cfg.FilteredNegatives,
+		Filter:      ds.Train,
+	}
+	if cfg.BernoulliNegatives {
+		sampler.FitBernoulli(ds.Train)
+	}
+
+	var hist History
+	var best float64
+	var bestParams map[string][]float32
+	sinceBest := 0
+
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return hist, err
+		}
+		start := time.Now()
+		rng.Shuffle(len(triples), func(i, j int) { triples[i], triples[j] = triples[j], triples[i] })
+
+		var epochLoss float64
+		for lo := 0; lo < len(triples); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(triples) {
+				hi = len(triples)
+			}
+			batch := triples[lo:hi]
+			loss := runBatch(model, batch, sampler, cfg, rng.Int63())
+			epochLoss += loss
+		}
+		epochLoss /= float64(len(triples))
+
+		stats := EpochStats{Epoch: epoch, Loss: epochLoss, Duration: time.Since(start)}
+
+		if cfg.Validate != nil && epoch%cfg.EvalEvery == 0 {
+			metric := cfg.Validate(model)
+			stats.Validation = metric
+			if metric > best {
+				best = metric
+				sinceBest = 0
+				bestParams = snapshotParams(model)
+			} else {
+				sinceBest++
+			}
+			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+				hist.Epochs = append(hist.Epochs, stats)
+				hist.Stopped = true
+				break
+			}
+		}
+		hist.Epochs = append(hist.Epochs, stats)
+		if cfg.Progress != nil {
+			cfg.Progress("epoch %3d  loss %.5f  valid %.4f  (%s)",
+				epoch, stats.Loss, stats.Validation, stats.Duration.Round(time.Millisecond))
+		}
+	}
+	hist.Best = best
+	if bestParams != nil {
+		restoreParams(model, bestParams)
+	}
+	return hist, nil
+}
+
+// runBatch computes gradients for one batch (sharded across workers),
+// applies L2 regularization on touched rows, and takes one optimizer step.
+// It returns the summed loss over the batch.
+func runBatch(model kge.Trainable, batch []kg.Triple, sampler *NegativeSampler, cfg Config, seed int64) float64 {
+	workers := cfg.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type shardResult struct {
+		gb   *kge.GradBuffer
+		loss float64
+	}
+	results := make([]shardResult, workers)
+	var wg sync.WaitGroup
+	per := (len(batch) + workers - 1) / workers
+	invBatch := 1 / float32(len(batch))
+
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			gb := kge.NewGradBuffer(model.Params())
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			negs := make([]kg.Triple, 0, cfg.NegSamples)
+			negScores := make([]float32, cfg.NegSamples)
+			gradNegs := make([]float32, cfg.NegSamples)
+			var loss float64
+			for _, pos := range batch[lo:hi] {
+				posScore, posCtx := model.ScoreWithContext(pos)
+				negs = sampler.CorruptN(negs, pos, cfg.NegSamples, rng)
+				negCtxs := make([]kge.GradContext, len(negs))
+				for i, n := range negs {
+					negScores[i], negCtxs[i] = model.ScoreWithContext(n)
+				}
+				var gradPos float32
+				loss += float64(cfg.Loss.Eval(posScore, negScores[:len(negs)], &gradPos, gradNegs[:len(negs)]))
+				if gradPos != 0 {
+					model.AccumulateGrad(pos, posCtx, gradPos*invBatch, gb)
+				}
+				for i, n := range negs {
+					if gradNegs[i] != 0 {
+						model.AccumulateGrad(n, negCtxs[i], gradNegs[i]*invBatch, gb)
+					}
+				}
+			}
+			results[w] = shardResult{gb: gb, loss: loss}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var merged *kge.GradBuffer
+	var totalLoss float64
+	for _, r := range results {
+		if r.gb == nil {
+			continue
+		}
+		totalLoss += r.loss
+		if merged == nil {
+			merged = r.gb
+		} else {
+			merged.Merge(r.gb)
+		}
+	}
+	if merged == nil {
+		return 0
+	}
+
+	if cfg.L2 > 0 {
+		merged.ForEach(func(p *kge.Param, row int, grad []float32) {
+			vecmath.Axpy(cfg.L2, p.M.Row(row), grad)
+		})
+	}
+	cfg.Optimizer.Step(merged)
+	model.PostBatch()
+	return totalLoss
+}
+
+func snapshotParams(model kge.Trainable) map[string][]float32 {
+	snap := make(map[string][]float32)
+	for _, p := range model.Params().List() {
+		data := make([]float32, len(p.M.Data))
+		copy(data, p.M.Data)
+		snap[p.Name] = data
+	}
+	return snap
+}
+
+func restoreParams(model kge.Trainable, snap map[string][]float32) {
+	for _, p := range model.Params().List() {
+		if data, ok := snap[p.Name]; ok && len(data) == len(p.M.Data) {
+			copy(p.M.Data, data)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package vecmath provides the small float32 linear-algebra substrate that
+// the KGE models are built on: dot products, saxpy, norms, Hadamard
+// products, and parameter initialization. The paper's authors trained on a
+// GPU through LibKGE/PyTorch; this package is the CPU substitute — simple,
+// allocation-conscious loops that the Go compiler vectorizes reasonably
+// well, sufficient for the embedding sizes used in this reproduction.
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length; this is the hot loop of every bilinear scoring function, so the
+// check is a debug-style panic rather than an error return.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: Dot length mismatch")
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("vecmath: Axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Hadamard stores a∘b into dst and returns dst. dst may alias a or b.
+func Hadamard(dst, a, b []float32) []float32 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("vecmath: Hadamard length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
+	return dst
+}
+
+// Add stores a+b into dst and returns dst.
+func Add(dst, a, b []float32) []float32 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("vecmath: Add length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// Sub stores a−b into dst and returns dst.
+func Sub(dst, a, b []float32) []float32 {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("vecmath: Sub length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// L1Norm returns Σ|xᵢ|.
+func L1Norm(x []float32) float32 {
+	var s float32
+	for _, v := range x {
+		if v < 0 {
+			s -= v
+		} else {
+			s += v
+		}
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm ‖x‖₂.
+func L2Norm(x []float32) float32 {
+	return float32(math.Sqrt(float64(SquaredL2Norm(x))))
+}
+
+// SquaredL2Norm returns Σxᵢ².
+func SquaredL2Norm(x []float32) float32 {
+	var s float32
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// L1Distance returns Σ|aᵢ−bᵢ|.
+func L1Distance(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: L1Distance length mismatch")
+	}
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// L2Distance returns ‖a−b‖₂.
+func L2Distance(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: L2Distance length mismatch")
+	}
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return float32(math.Sqrt(float64(s)))
+}
+
+// NormalizeL2 rescales x to unit Euclidean norm in place. Vectors with norm
+// below 1e-12 are left untouched to avoid amplifying noise.
+func NormalizeL2(x []float32) {
+	n := L2Norm(x)
+	if n < 1e-12 {
+		return
+	}
+	Scale(1/n, x)
+}
+
+// XavierInit fills x with samples from U(−b, b) with b = sqrt(6/(fanIn+fanOut)),
+// the Glorot/Xavier uniform initialization used by LibKGE's defaults.
+func XavierInit(rng *rand.Rand, x []float32, fanIn, fanOut int) {
+	b := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range x {
+		x[i] = float32((rng.Float64()*2 - 1) * b)
+	}
+}
+
+// UniformInit fills x with samples from U(lo, hi).
+func UniformInit(rng *rand.Rand, x []float32, lo, hi float64) {
+	for i := range x {
+		x[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// NormalInit fills x with samples from N(mean, std²).
+func NormalInit(rng *rand.Rand, x []float32, mean, std float64) {
+	for i := range x {
+		x[i] = float32(mean + rng.NormFloat64()*std)
+	}
+}
+
+// Matrix is a dense row-major float32 matrix. It is the layout behind every
+// embedding table: row i is the embedding of entity/relation i, so batched
+// "score against all entities" operations are row sweeps with good locality.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns the mutable slice backing row i.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// MulVec computes dst = M·x (dst has length Rows, x length Cols).
+func (m *Matrix) MulVec(dst, x []float32) []float32 {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("vecmath: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+	return dst
+}
+
+// MulVecT computes dst = Mᵀ·x (dst has length Cols, x length Rows).
+func (m *Matrix) MulVecT(dst, x []float32) []float32 {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("vecmath: MulVecT dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		Axpy(x[i], m.Row(i), dst)
+	}
+	return dst
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float32) float32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Sigmoid returns 1/(1+e^(−x)) computed stably in float64.
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Softplus returns log(1+e^x) computed stably: for large x it approaches x,
+// for very negative x it approaches e^x.
+func Softplus(x float32) float32 {
+	v := float64(x)
+	if v > 30 {
+		return x
+	}
+	if v < -30 {
+		return float32(math.Exp(v))
+	}
+	return float32(math.Log1p(math.Exp(v)))
+}
