@@ -9,6 +9,7 @@ package repro
 import (
 	"context"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -254,6 +255,54 @@ func BenchmarkAblationBatchedScoring(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAblationGroupedRanking compares the discovery ranking stage's
+// two schedules on a DistMult mesh grid: one RankObject (a full
+// ScoreAllObjects sweep) per candidate, versus one RankObjects sweep per
+// (s, r) group. The mesh grid of √max_candidates subjects × objects means
+// the grouped schedule runs ~√max_candidates sweeps instead of
+// max_candidates — the asymptotic win recorded in EXPERIMENTS.md.
+func BenchmarkAblationGroupedRanking(b *testing.B) {
+	const nEnt, nRel, dim = 2000, 4, 64
+	m, err := kge.New("distmult", kge.Config{
+		NumEntities: nEnt, NumRelations: nRel, Dim: dim, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ranker := eval.NewRanker(m, nil)
+	for _, maxCand := range []int{100, 500, 2000} {
+		k := int(math.Sqrt(float64(maxCand)))
+		if k*k < maxCand {
+			k++
+		}
+		candidates := make([]kg.Triple, 0, maxCand)
+		for s := 0; s < k && len(candidates) < maxCand; s++ {
+			for o := 0; o < k && len(candidates) < maxCand; o++ {
+				candidates = append(candidates, kg.Triple{S: kg.EntityID(s), R: 0, O: kg.EntityID(o)})
+			}
+		}
+		groups := make(map[kg.EntityID][]kg.EntityID, k)
+		for _, t := range candidates {
+			groups[t.S] = append(groups[t.S], t.O)
+		}
+		b.Run("per-candidate/"+strconv.Itoa(maxCand), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, t := range candidates {
+					_ = ranker.RankObject(t)
+				}
+			}
+		})
+		b.Run("grouped/"+strconv.Itoa(maxCand), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for s, objects := range groups {
+					_ = ranker.RankObjects(s, 0, objects)
+				}
+			}
+			b.ReportMetric(float64(len(candidates)-len(groups)), "sweeps-saved/op")
+		})
+	}
 }
 
 // BenchmarkAblationSamplerAlias compares the alias method with inverse-CDF

@@ -78,6 +78,8 @@ func run(args []string) error {
 		st.Total.Round(time.Millisecond), st.WeightTime.Round(time.Millisecond),
 		st.GenerateTime.Round(time.Millisecond), st.RankTime.Round(time.Millisecond),
 		st.FactsPerHour(len(res.Facts)))
+	fmt.Printf("ranking: sweeps=%d candidates=%d sweeps-saved=%d (grouped by subject-relation pair)\n",
+		st.ScoreSweeps, st.GroupedCandidates, st.GroupedCandidates-st.ScoreSweeps)
 
 	n := len(res.Facts)
 	if *limit > 0 && *limit < n {

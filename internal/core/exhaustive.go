@@ -202,7 +202,7 @@ func ExhaustiveDiscover(ctx context.Context, model kge.Model, g *kg.Graph, opts 
 	}
 	start := time.Now()
 
-	var ranker interface{ RankObject(kg.Triple) int }
+	var ranker objectRanker
 	if opts.RankFiltered {
 		ranker = eval.NewRanker(model, g)
 	} else {
@@ -214,6 +214,7 @@ func ExhaustiveDiscover(ctx context.Context, model kge.Model, g *kg.Graph, opts 
 	// the whole complement.
 	res := &Result{}
 	candidates := make([]kg.Triple, 0, n)
+	var scoreSweeps, groupedCandidates int
 	for _, r := range relations {
 		candidates = candidates[:0]
 		for s := int64(0); s < n; s++ {
@@ -240,8 +241,13 @@ func ExhaustiveDiscover(ctx context.Context, model kge.Model, g *kg.Graph, opts 
 		stats.Generated += len(candidates)
 
 		rStart := time.Now()
-		ranks := rankAll(ctx, ranker, candidates, opts.Workers)
+		ranks, sweeps, err := rankAll(ctx, ranker, candidates, opts.Workers)
 		stats.RankTime += time.Since(rStart)
+		if err != nil {
+			return nil, nil, err
+		}
+		scoreSweeps += sweeps
+		groupedCandidates += len(candidates)
 		for i, t := range candidates {
 			if ranks[i] <= opts.TopN {
 				res.Facts = append(res.Facts, Fact{Triple: t, Rank: ranks[i]})
@@ -252,10 +258,12 @@ func ExhaustiveDiscover(ctx context.Context, model kge.Model, g *kg.Graph, opts 
 	sortFactsByRank(res.Facts)
 	stats.Total = time.Since(start)
 	res.Stats = Stats{
-		Total:     stats.Total,
-		RankTime:  stats.RankTime,
-		Generated: stats.Generated,
-		Relations: len(relations),
+		Total:             stats.Total,
+		RankTime:          stats.RankTime,
+		Generated:         stats.Generated,
+		Relations:         len(relations),
+		ScoreSweeps:       scoreSweeps,
+		GroupedCandidates: groupedCandidates,
 	}
 	return res, stats, nil
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/kg"
+)
+
+// TestRankAllCancelledReturnsError is the regression test for the
+// cancellation bug: rankAll used to bail out of its workers on a cancelled
+// context and silently return the zero-initialized ranks slice, and rank-0
+// candidates pass every `rank <= TopN` filter, so DiscoverFacts fabricated
+// Rank-0 "facts". A cancelled ranking stage must surface ctx.Err() instead.
+func TestRankAllCancelledReturnsError(t *testing.T) {
+	ds, m := tinyTrained(t)
+	ranker := eval.NewRanker(m, nil)
+	candidates := make([]kg.Triple, 0, 64)
+	n := kg.EntityID(ds.Train.NumEntities())
+	for s := kg.EntityID(0); s < 8 && s < n; s++ {
+		for o := kg.EntityID(0); o < 8 && o < n; o++ {
+			candidates = append(candidates, kg.Triple{S: s, R: 0, O: o})
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ranks, _, err := rankAll(ctx, ranker, candidates, 2)
+	if err == nil {
+		t.Fatal("rankAll on cancelled context returned nil error")
+	}
+	if ranks != nil {
+		t.Fatalf("rankAll on cancelled context returned partial ranks %v", ranks[:4])
+	}
+
+	// And DiscoverFacts must propagate the error rather than return facts.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	time.Sleep(time.Millisecond)
+	if res, err := DiscoverFacts(ctx2, m, ds.Train, NewUniformRandom(), Options{}); err == nil {
+		for _, f := range res.Facts {
+			if f.Rank == 0 {
+				t.Fatal("cancelled discovery returned a rank-0 fact")
+			}
+		}
+	}
+}
+
+// TestRankAllMatchesPerCandidate asserts the grouped scheduler assigns every
+// candidate exactly the rank the per-candidate protocol would, in order.
+func TestRankAllMatchesPerCandidate(t *testing.T) {
+	ds, m := tinyTrained(t)
+	ranker := eval.NewRanker(m, ds.All())
+	var candidates []kg.Triple
+	n := kg.EntityID(ds.Train.NumEntities())
+	for s := kg.EntityID(0); s < 6 && s < n; s++ {
+		for o := kg.EntityID(0); o < 10 && o < n; o++ {
+			candidates = append(candidates, kg.Triple{S: s, R: 1, O: o})
+		}
+	}
+	ranks, sweeps, err := rankAll(context.Background(), ranker, candidates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[kg.EntityID]struct{})
+	for _, c := range candidates {
+		distinct[c.S] = struct{}{}
+	}
+	if sweeps != len(distinct) {
+		t.Errorf("sweeps = %d, want one per distinct (s, r) pair = %d", sweeps, len(distinct))
+	}
+	for i, c := range candidates {
+		if want := ranker.RankObject(c); ranks[i] != want {
+			t.Fatalf("candidate %d (%v): grouped rank %d != per-candidate %d", i, c, ranks[i], want)
+		}
+	}
+}
+
+// TestDiscoverFactsGroupedStats checks the new instrumentation: the sweep
+// count never exceeds the number of candidates ranked (it is the number of
+// distinct (s, r) groups) and the grouped-candidate tally matches Generated.
+func TestDiscoverFactsGroupedStats(t *testing.T) {
+	res := discover(t, Options{TopN: 40, MaxCandidates: 60, Seed: 21})
+	if res.Stats.GroupedCandidates != res.Stats.Generated {
+		t.Errorf("GroupedCandidates = %d, want Generated = %d",
+			res.Stats.GroupedCandidates, res.Stats.Generated)
+	}
+	if res.Stats.ScoreSweeps <= 0 {
+		t.Fatal("ScoreSweeps not recorded")
+	}
+	if res.Stats.ScoreSweeps > res.Stats.GroupedCandidates {
+		t.Errorf("ScoreSweeps %d > GroupedCandidates %d: grouping saved nothing",
+			res.Stats.ScoreSweeps, res.Stats.GroupedCandidates)
+	}
+}

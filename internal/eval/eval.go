@@ -14,6 +14,8 @@ package eval
 import (
 	"math"
 	"runtime"
+	"slices"
+	"sort"
 	"sync"
 
 	"repro/internal/kg"
@@ -22,11 +24,19 @@ import (
 
 // Ranker ranks triples against their corruptions for a fixed model and
 // (optional) filter graph. A nil filter selects the raw protocol. Rankers
-// are safe for concurrent use; per-call score buffers are pooled.
+// are safe for concurrent use; per-call sweep buffers are pooled, so steady
+// state holds one scores + one sorted buffer per concurrent caller.
 type Ranker struct {
 	model  kge.Model
 	filter *kg.Graph
 	pool   sync.Pool
+}
+
+// sweepBufs is the per-call working set: the raw score sweep and a sorted
+// copy that grouped ranking answers rank queries against.
+type sweepBufs struct {
+	scores []float32
+	sorted []float32
 }
 
 // NewRanker returns a Ranker over model. filter may be nil (raw protocol).
@@ -34,8 +44,12 @@ func NewRanker(model kge.Model, filter *kg.Graph) *Ranker {
 	r := &Ranker{model: model, filter: filter}
 	n := model.NumEntities()
 	r.pool.New = func() any {
-		buf := make([]float32, n)
-		return &buf
+		return &sweepBufs{scores: make([]float32, n), sorted: make([]float32, n)}
+	}
+	if filter != nil {
+		// Force the filter's lazy (s, r) adjacency now so concurrent
+		// RankObjects calls only read it.
+		filter.BuildIndexes()
 	}
 	return r
 }
@@ -49,9 +63,9 @@ func (r *Ranker) Model() kge.Model { return r.model }
 // which avoids both optimistic and pessimistic bias. In the filtered
 // setting, corruptions present in the filter graph are skipped.
 func (r *Ranker) RankObject(t kg.Triple) int {
-	bufp := r.pool.Get().(*[]float32)
-	defer r.pool.Put(bufp)
-	scores := r.model.ScoreAllObjects(t.S, t.R, *bufp)
+	bufs := r.pool.Get().(*sweepBufs)
+	defer r.pool.Put(bufs)
+	scores := r.model.ScoreAllObjects(t.S, t.R, bufs.scores)
 	target := scores[t.O]
 	greater, equal := 0, 0
 	for o, sc := range scores {
@@ -73,9 +87,9 @@ func (r *Ranker) RankObject(t kg.Triple) int {
 
 // RankSubject mirrors RankObject for subject-side corruptions (s', r, o).
 func (r *Ranker) RankSubject(t kg.Triple) int {
-	bufp := r.pool.Get().(*[]float32)
-	defer r.pool.Put(bufp)
-	scores := r.model.ScoreAllSubjects(t.R, t.O, *bufp)
+	bufs := r.pool.Get().(*sweepBufs)
+	defer r.pool.Put(bufs)
+	scores := r.model.ScoreAllSubjects(t.R, t.O, bufs.scores)
 	target := scores[t.S]
 	greater, equal := 0, 0
 	for s, sc := range scores {
@@ -93,6 +107,96 @@ func (r *Ranker) RankSubject(t kg.Triple) int {
 		}
 	}
 	return 1 + greater + equal/2
+}
+
+// RankObjects ranks many object-side candidates that share a (s, r) pair
+// from one ScoreAllObjects sweep, returning ranks parallel to objects. It is
+// exactly equivalent to calling RankObject on each (s, r, oᵢ) — same mean
+// tie policy, same filtered-protocol skips — but runs one model sweep per
+// group instead of one per candidate.
+//
+// After sorting a copy of the sweep once, each object's counts of
+// strictly-greater and tied corruptions come from two binary searches, and
+// the filtered protocol is applied as a per-group correction using the
+// filter graph's (s, r) adjacency instead of |E| Contains probes:
+// O(|E|·d + |E|log|E| + k·(log|E| + |Fₛᵣ|)) per group, versus
+// O(k·|E|·(d + 1)) for k per-candidate calls.
+func (r *Ranker) RankObjects(s kg.EntityID, rel kg.RelationID, objects []kg.EntityID) []int {
+	ranks := make([]int, len(objects))
+	if len(objects) == 0 {
+		return ranks
+	}
+	bufs := r.pool.Get().(*sweepBufs)
+	defer r.pool.Put(bufs)
+	scores := r.model.ScoreAllObjects(s, rel, bufs.scores)
+
+	var filtered []kg.EntityID
+	if r.filter != nil {
+		filtered = r.filter.ObjectsOf(s, rel)
+	}
+
+	// For tiny groups a linear count per object is cheaper than sorting the
+	// sweep (k·|E| < |E|·log|E|); both paths count identically.
+	if len(objects) <= 4 {
+		for i, o := range objects {
+			target := scores[o]
+			greater, equal := 0, 0
+			for _, sc := range scores {
+				switch {
+				case sc > target:
+					greater++
+				case sc == target:
+					equal++
+				}
+			}
+			equal-- // the target scored equal to itself
+			for _, f := range filtered {
+				if f == o {
+					continue
+				}
+				switch fs := scores[f]; {
+				case fs > target:
+					greater--
+				case fs == target:
+					equal--
+				}
+			}
+			ranks[i] = 1 + greater + equal/2
+		}
+		return ranks
+	}
+
+	sorted := bufs.sorted
+	copy(sorted, scores)
+	slices.Sort(sorted)
+
+	n := len(sorted)
+	for i, o := range objects {
+		target := scores[o]
+		// First index with score ≥ target and first with score > target:
+		// everything above hi is strictly greater, [lo, hi) are the ties
+		// (including the target itself).
+		lo := sort.Search(n, func(j int) bool { return sorted[j] >= target })
+		hi := sort.Search(n, func(j int) bool { return sorted[j] > target })
+		greater := n - hi
+		equal := hi - lo - 1
+		// Filtered protocol: discount corruptions that are known true
+		// triples. The target is never discounted — it is excluded from its
+		// own corruption set already.
+		for _, f := range filtered {
+			if f == o {
+				continue
+			}
+			switch fs := scores[f]; {
+			case fs > target:
+				greater--
+			case fs == target:
+				equal--
+			}
+		}
+		ranks[i] = 1 + greater + equal/2
+	}
+	return ranks
 }
 
 // Options controls Evaluate.
@@ -132,48 +236,79 @@ func Evaluate(ranker *Ranker, test *kg.Graph, opts Options) Result {
 	if hitsAt == nil {
 		hitsAt = []int{1, 3, 10}
 	}
+	// Object-side queries are grouped by (s, r): every triple of a group is
+	// ranked from one shared score sweep. Subject-side ranks (BothSides)
+	// remain per-triple. The rank slice is preallocated at its known final
+	// size — object ranks land at the triple's index, subject ranks at
+	// len(triples)+index — so no append/channel funnel is needed.
+	type srKey struct {
+		s kg.EntityID
+		r kg.RelationID
+	}
+	type srGroup struct {
+		s   kg.EntityID
+		r   kg.RelationID
+		idx []int
+	}
+	byKey := make(map[srKey]int, len(triples))
+	var groups []*srGroup
+	for i, t := range triples {
+		k := srKey{t.S, t.R}
+		gi, ok := byKey[k]
+		if !ok {
+			gi = len(groups)
+			byKey[k] = gi
+			groups = append(groups, &srGroup{s: t.S, r: t.R})
+		}
+		groups[gi].idx = append(groups[gi].idx, i)
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(triples) {
-		workers = len(triples)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
 	if workers < 1 {
 		workers = 1
 	}
 
-	ranksCh := make(chan int, 256)
+	total := len(triples)
+	if opts.BothSides {
+		total *= 2
+	}
+	ranks := make([]int, total)
+
+	groupCh := make(chan *srGroup)
 	var wg sync.WaitGroup
-	per := (len(triples) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo, hi := w*per, (w+1)*per
-		if hi > len(triples) {
-			hi = len(triples)
-		}
-		if lo >= hi {
-			continue
-		}
 		wg.Add(1)
-		go func(chunk []kg.Triple) {
+		go func() {
 			defer wg.Done()
-			for _, t := range chunk {
-				ranksCh <- ranker.RankObject(t)
+			var objects []kg.EntityID
+			for g := range groupCh {
+				objects = objects[:0]
+				for _, i := range g.idx {
+					objects = append(objects, triples[i].O)
+				}
+				rs := ranker.RankObjects(g.s, g.r, objects)
+				for j, i := range g.idx {
+					ranks[i] = rs[j]
+				}
 				if opts.BothSides {
-					ranksCh <- ranker.RankSubject(t)
+					for _, i := range g.idx {
+						ranks[len(triples)+i] = ranker.RankSubject(triples[i])
+					}
 				}
 			}
-		}(triples[lo:hi])
+		}()
 	}
-	go func() {
-		wg.Wait()
-		close(ranksCh)
-	}()
-
-	var ranks []int
-	for rk := range ranksCh {
-		ranks = append(ranks, rk)
+	for _, g := range groups {
+		groupCh <- g
 	}
+	close(groupCh)
+	wg.Wait()
 	return Aggregate(ranks, hitsAt)
 }
 

@@ -36,6 +36,16 @@ type Graph struct {
 
 	relSubjectCount map[RelationID]map[EntityID]int64
 	relObjectCount  map[RelationID]map[EntityID]int64
+
+	srObjects map[srKey][]EntityID // objects adjacent to each (subject, relation) pair, sorted
+}
+
+// srKey indexes the (subject, relation) adjacency used by grouped filtered
+// ranking: all true objects of one (s, r) pair in a single lookup instead of
+// |E| Contains probes.
+type srKey struct {
+	s EntityID
+	r RelationID
 }
 
 // NewGraph returns an empty graph with fresh entity and relation dictionaries.
@@ -152,19 +162,42 @@ func (g *Graph) rebuildSideTables() {
 	g.relObjects = make(map[RelationID][]EntityID, len(g.byRelation))
 	g.relSubjectCount = make(map[RelationID]map[EntityID]int64, len(g.byRelation))
 	g.relObjectCount = make(map[RelationID]map[EntityID]int64, len(g.byRelation))
+	g.srObjects = make(map[srKey][]EntityID, len(g.triples))
 	for r, ts := range g.byRelation {
 		sc := make(map[EntityID]int64)
 		oc := make(map[EntityID]int64)
 		for _, t := range ts {
 			sc[t.S]++
 			oc[t.O]++
+			k := srKey{t.S, t.R}
+			g.srObjects[k] = append(g.srObjects[k], t.O)
 		}
 		g.relSubjectCount[r] = sc
 		g.relObjectCount[r] = oc
 		g.relSubjects[r] = sortedKeys(sc)
 		g.relObjects[r] = sortedKeys(oc)
 	}
+	for _, os := range g.srObjects {
+		sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
+	}
 	g.dirty = false
+}
+
+// ObjectsOf returns the objects o with (s, r, o) ∈ g, in ascending ID order.
+// The caller must not modify the returned slice. The first call after a
+// mutation rebuilds the side tables; call BuildIndexes before sharing the
+// graph across goroutines.
+func (g *Graph) ObjectsOf(s EntityID, r RelationID) []EntityID {
+	g.rebuildSideTables()
+	return g.srObjects[srKey{s, r}]
+}
+
+// BuildIndexes forces the lazy side tables (per-relation entity lists and
+// the (s, r) adjacency) to be built now. Queries on an unmutated graph are
+// then safe for concurrent use; without this, the first concurrent lazy
+// rebuild would race.
+func (g *Graph) BuildIndexes() {
+	g.rebuildSideTables()
 }
 
 func sortedKeys(m map[EntityID]int64) []EntityID {

@@ -94,7 +94,7 @@ func (m *ComplEx) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32)
 		q[i] = sre[i]*rre[i] - sim[i]*rim[i]
 		q[d+i] = sim[i]*rre[i] + sre[i]*rim[i]
 	}
-	return m.ent.M.MulVec(out, q)
+	return vecmath.MatVec(out, m.ent.M, q)
 }
 
 // ScoreAllSubjects implements Model: linear in s with
@@ -111,7 +111,7 @@ func (m *ComplEx) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32
 		q[i] = rre[i]*ore[i] + rim[i]*oim[i]
 		q[d+i] = rre[i]*oim[i] - rim[i]*ore[i]
 	}
-	return m.ent.M.MulVec(out, q)
+	return vecmath.MatVec(out, m.ent.M, q)
 }
 
 // AccumulateGrad implements Trainable with the partial derivatives of the

@@ -63,12 +63,13 @@ func (m *DistMult) ScoreWithContext(t kg.Triple) (float32, GradContext) {
 	return m.Score(t), nil
 }
 
-// ScoreAllObjects implements Model: with q = s∘r, scores = E·q.
+// ScoreAllObjects implements Model: with q = s∘r, scores = E·q via the
+// blocked MatVec kernel.
 func (m *DistMult) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
 	checkScoreBuf(out, m.cfg.NumEntities)
 	q := make([]float32, m.cfg.Dim)
 	vecmath.Hadamard(q, m.ent.M.Row(int(s)), m.rel.M.Row(int(r)))
-	return m.ent.M.MulVec(out, q)
+	return vecmath.MatVec(out, m.ent.M, q)
 }
 
 // ScoreAllSubjects implements Model: by symmetry q = r∘o, scores = E·q.
@@ -76,7 +77,7 @@ func (m *DistMult) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float3
 	checkScoreBuf(out, m.cfg.NumEntities)
 	q := make([]float32, m.cfg.Dim)
 	vecmath.Hadamard(q, m.rel.M.Row(int(r)), m.ent.M.Row(int(o)))
-	return m.ent.M.MulVec(out, q)
+	return vecmath.MatVec(out, m.ent.M, q)
 }
 
 // AccumulateGrad implements Trainable:

@@ -74,7 +74,7 @@ func (m *HolE) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []
 	checkScoreBuf(out, m.cfg.NumEntities)
 	q := make([]float32, m.cfg.Dim)
 	fft.Convolve(q, m.rel.M.Row(int(r)), m.ent.M.Row(int(s)))
-	return m.ent.M.MulVec(out, q)
+	return vecmath.MatVec(out, m.ent.M, q)
 }
 
 // ScoreAllSubjects implements Model. f is linear in s: f = s·(r ⋆ o), so
@@ -83,7 +83,7 @@ func (m *HolE) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32) [
 	checkScoreBuf(out, m.cfg.NumEntities)
 	q := make([]float32, m.cfg.Dim)
 	fft.CircularCorrelation(q, m.rel.M.Row(int(r)), m.ent.M.Row(int(o)))
-	return m.ent.M.MulVec(out, q)
+	return vecmath.MatVec(out, m.ent.M, q)
 }
 
 // AccumulateGrad implements Trainable:

@@ -87,12 +87,13 @@ func (m *RESCAL) ScoreWithContext(t kg.Triple) (float32, GradContext) {
 	return m.Score(t), nil
 }
 
-// ScoreAllObjects implements Model: q = Wᵣᵀ·s, scores = E·q.
+// ScoreAllObjects implements Model: q = Wᵣᵀ·s, scores = E·q via the
+// blocked MatVec kernel.
 func (m *RESCAL) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) []float32 {
 	checkScoreBuf(out, m.cfg.NumEntities)
 	q := make([]float32, m.cfg.Dim)
 	m.wts(q, r, m.ent.M.Row(int(s)))
-	return m.ent.M.MulVec(out, q)
+	return vecmath.MatVec(out, m.ent.M, q)
 }
 
 // ScoreAllSubjects implements Model: q = Wᵣ·o, scores = E·q.
@@ -100,7 +101,7 @@ func (m *RESCAL) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32)
 	checkScoreBuf(out, m.cfg.NumEntities)
 	q := make([]float32, m.cfg.Dim)
 	m.wo(q, r, m.ent.M.Row(int(o)))
-	return m.ent.M.MulVec(out, q)
+	return vecmath.MatVec(out, m.ent.M, q)
 }
 
 // AccumulateGrad implements Trainable:

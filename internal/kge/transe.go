@@ -98,10 +98,7 @@ func (m *TransE) ScoreAllObjects(s kg.EntityID, r kg.RelationID, out []float32) 
 		if m.norm == 1 {
 			d = vecmath.L1Distance(q, row)
 		} else {
-			for i := range q {
-				v := q[i] - row[i]
-				d += v * v
-			}
+			d = vecmath.SquaredL2Distance(q, row)
 		}
 		out[o] = -d
 	}
@@ -120,10 +117,7 @@ func (m *TransE) ScoreAllSubjects(r kg.RelationID, o kg.EntityID, out []float32)
 		if m.norm == 1 {
 			d = vecmath.L1Distance(row, q)
 		} else {
-			for i := range q {
-				v := row[i] - q[i]
-				d += v * v
-			}
+			d = vecmath.SquaredL2Distance(row, q)
 		}
 		out[s] = -d
 	}

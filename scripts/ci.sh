@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, and race-checked tests. The discovery ranking stage
+# runs a concurrent group scheduler (internal/core.rankAll) and the
+# evaluation protocol a grouped worker pool (internal/eval.Evaluate), so the
+# race detector is mandatory, not optional, on every PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"
