@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/eval"
 	"repro/internal/kg"
@@ -40,6 +41,7 @@ func run(args []string) error {
 		kvsall    = fs.Bool("kvsall", false, "KvsAll (1-N) training instead of negative sampling")
 		smoothing = fs.Float64("label_smoothing", 0.1, "KvsAll label smoothing")
 		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "gradient-computation goroutines (0 = GOMAXPROCS); any value yields bit-identical checkpoints")
 		out       = fs.String("out", "model.kge", "checkpoint output path")
 		patience  = fs.Int("patience", 0, "early-stopping patience in evals (0 = off)")
 		evalEach  = fs.Int("eval_every", 5, "epochs between validation evaluations")
@@ -79,6 +81,10 @@ func run(args []string) error {
 		}
 	}
 
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
 	cfg := train.Config{
 		Epochs:             *epochs,
 		BatchSize:          *batch,
@@ -86,11 +92,13 @@ func run(args []string) error {
 		Loss:               loss,
 		Optimizer:          opt,
 		L2:                 float32(*l2),
+		Workers:            effWorkers,
 		Seed:               *seed,
 		EvalEvery:          *evalEach,
 		Patience:           *patience,
 		BernoulliNegatives: *bernoulli,
 	}
+	fmt.Printf("training %s with %d workers (seed %d)\n", *model, effWorkers, *seed)
 	if !*quiet {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
@@ -124,6 +132,6 @@ func run(args []string) error {
 	if err := kge.SaveFile(m, *out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote checkpoint %s\n", *out)
+	fmt.Printf("wrote checkpoint %s (sha256 %s)\n", *out, kge.Fingerprint(m))
 	return nil
 }

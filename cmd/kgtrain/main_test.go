@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -43,6 +44,33 @@ func TestRunWithEarlyStoppingAndLoss(t *testing.T) {
 		"-patience", "2", "-eval_every", "1", "-out", out, "-quiet"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWorkersFlagDeterministic(t *testing.T) {
+	dir := writeTinyDataset(t)
+	checkpoint := func(workers string, kvsall bool) []byte {
+		t.Helper()
+		out := filepath.Join(t.TempDir(), "m.kge")
+		args := []string{"-data", dir, "-model", "distmult", "-dim", "8",
+			"-epochs", "2", "-seed", "11", "-workers", workers, "-out", out, "-quiet"}
+		if kvsall {
+			args = append(args, "-kvsall")
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("run (workers=%s, kvsall=%v): %v", workers, kvsall, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(checkpoint("1", false), checkpoint("3", false)) {
+		t.Error("negative-sampling checkpoints differ between -workers 1 and -workers 3")
+	}
+	if !bytes.Equal(checkpoint("1", true), checkpoint("3", true)) {
+		t.Error("KvsAll checkpoints differ between -workers 1 and -workers 3")
 	}
 }
 

@@ -1,30 +1,48 @@
 package kge
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 )
+
+// paramRecord is one parameter table in the canonical wire format.
+type paramRecord struct {
+	Name       string
+	Rows, Cols int
+	Data       []float32
+}
 
 // snapshot is the gob wire format for a trained model: the constructor
 // configuration plus every parameter table's raw data. Loading reconstructs
 // the model through New (so geometry derivations rerun) and then overwrites
 // the freshly initialized parameters.
+//
+// Two generations of the format coexist. Legacy snapshots carried the
+// Params/Shapes maps, whose gob encoding followed map iteration order, so
+// identical weights could serialize to different bytes from one Save to the
+// next. Canonical snapshots carry ParamList instead: a name-sorted slice of
+// records, making Save a pure function of the weights. Save emits only the
+// canonical form; Load accepts both.
 type snapshot struct {
 	ModelName string
 	Config    Config
-	Params    map[string][]float32
-	Shapes    map[string][2]int
+	Params    map[string][]float32 // legacy map-format snapshots only
+	Shapes    map[string][2]int    // legacy map-format snapshots only
+	ParamList []paramRecord        // canonical format
 }
 
-// Save serializes a trained model to w.
+// Save serializes a trained model to w. Identical model weights always
+// produce identical bytes: parameters are emitted as a name-sorted list of
+// records, never as gob maps.
 func Save(m Trainable, w io.Writer) error {
-	snap := snapshot{
-		ModelName: m.Name(),
-		Params:    make(map[string][]float32),
-		Shapes:    make(map[string][2]int),
-	}
+	snap := snapshot{ModelName: m.Name()}
 	cfg, err := configOf(m)
 	if err != nil {
 		return err
@@ -33,13 +51,18 @@ func Save(m Trainable, w io.Writer) error {
 	for _, p := range m.Params().List() {
 		data := make([]float32, len(p.M.Data))
 		copy(data, p.M.Data)
-		snap.Params[p.Name] = data
-		snap.Shapes[p.Name] = [2]int{p.M.Rows, p.M.Cols}
+		snap.ParamList = append(snap.ParamList, paramRecord{
+			Name: p.Name, Rows: p.M.Rows, Cols: p.M.Cols, Data: data,
+		})
 	}
+	sort.Slice(snap.ParamList, func(i, j int) bool {
+		return snap.ParamList[i].Name < snap.ParamList[j].Name
+	})
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// Load reconstructs a model previously written by Save.
+// Load reconstructs a model previously written by Save, accepting both the
+// canonical record-list format and legacy map-based snapshots.
 func Load(r io.Reader) (Trainable, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -49,23 +72,85 @@ func Load(r io.Reader) (Trainable, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kge: reconstruct %q: %w", snap.ModelName, err)
 	}
+	if len(snap.ParamList) > 0 {
+		return m, restoreFromRecords(m, snap.ParamList)
+	}
+	return m, restoreFromMaps(m, snap.Params, snap.Shapes)
+}
+
+func restoreFromRecords(m Trainable, records []paramRecord) error {
+	byName := make(map[string]paramRecord, len(records))
+	for _, rec := range records {
+		byName[rec.Name] = rec
+	}
 	for _, p := range m.Params().List() {
-		data, ok := snap.Params[p.Name]
+		rec, ok := byName[p.Name]
 		if !ok {
-			return nil, fmt.Errorf("kge: snapshot missing parameter %q", p.Name)
+			return fmt.Errorf("kge: snapshot missing parameter %q", p.Name)
 		}
-		shape := snap.Shapes[p.Name]
+		if rec.Rows != p.M.Rows || rec.Cols != p.M.Cols {
+			return fmt.Errorf("kge: parameter %q shape [%d %d], want [%d %d]",
+				p.Name, rec.Rows, rec.Cols, p.M.Rows, p.M.Cols)
+		}
+		if len(rec.Data) != len(p.M.Data) {
+			return fmt.Errorf("kge: parameter %q has %d scalars, want %d",
+				p.Name, len(rec.Data), len(p.M.Data))
+		}
+		copy(p.M.Data, rec.Data)
+	}
+	return nil
+}
+
+func restoreFromMaps(m Trainable, params map[string][]float32, shapes map[string][2]int) error {
+	for _, p := range m.Params().List() {
+		data, ok := params[p.Name]
+		if !ok {
+			return fmt.Errorf("kge: snapshot missing parameter %q", p.Name)
+		}
+		shape := shapes[p.Name]
 		if shape[0] != p.M.Rows || shape[1] != p.M.Cols {
-			return nil, fmt.Errorf("kge: parameter %q shape %v, want [%d %d]",
+			return fmt.Errorf("kge: parameter %q shape %v, want [%d %d]",
 				p.Name, shape, p.M.Rows, p.M.Cols)
 		}
 		if len(data) != len(p.M.Data) {
-			return nil, fmt.Errorf("kge: parameter %q has %d scalars, want %d",
+			return fmt.Errorf("kge: parameter %q has %d scalars, want %d",
 				p.Name, len(data), len(p.M.Data))
 		}
 		copy(p.M.Data, data)
 	}
-	return m, nil
+	return nil
+}
+
+// Fingerprint returns the SHA-256 hex digest of a model's canonical
+// parameter serialization: the model name followed by every parameter table
+// in name order, each contributing its name, shape, and the little-endian
+// IEEE-754 bits of its data. Two models fingerprint identically exactly when
+// they have the same architecture and bit-identical weights, so the digest
+// is the unit of comparison for training-determinism checks.
+func Fingerprint(m Trainable) string {
+	h := sha256.New()
+	io.WriteString(h, m.Name())
+	params := append([]*Param(nil), m.Params().List()...)
+	sort.Slice(params, func(i, j int) bool { return params[i].Name < params[j].Name })
+	var hdr [8]byte
+	buf := make([]byte, 0, 4096)
+	for _, p := range params {
+		io.WriteString(h, "\x00")
+		io.WriteString(h, p.Name)
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(p.M.Rows))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(p.M.Cols))
+		h.Write(hdr[:])
+		buf = buf[:0]
+		for _, x := range p.M.Data {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+			if len(buf) == cap(buf) {
+				h.Write(buf)
+				buf = buf[:0]
+			}
+		}
+		h.Write(buf)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // SaveFile writes the model to path, creating or truncating it.

@@ -1,0 +1,126 @@
+package kge
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// perturb nudges every parameter so tests exercise real weights, not just
+// the seeded initialization.
+func perturb(m Trainable, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range m.Params().List() {
+		for i := range p.M.Data {
+			p.M.Data[i] += float32(rng.NormFloat64()) * 0.01
+		}
+	}
+}
+
+func TestSaveDeterministicBytes(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := New(name, testConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perturb(m, 11)
+		var a, b bytes.Buffer
+		if err := Save(m, &a); err != nil {
+			t.Fatalf("Save(%s) #1: %v", name, err)
+		}
+		if err := Save(m, &b); err != nil {
+			t.Fatalf("Save(%s) #2: %v", name, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: repeated Save produced different bytes (%d vs %d)", name, a.Len(), b.Len())
+		}
+	}
+}
+
+// legacySnapshot mirrors the pre-canonical wire format, where parameters
+// traveled as gob maps. Load must keep reading those checkpoints.
+type legacySnapshot struct {
+	ModelName string
+	Config    Config
+	Params    map[string][]float32
+	Shapes    map[string][2]int
+}
+
+func TestLoadLegacyMapSnapshot(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := New(name, testConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perturb(m, 23)
+		cfg, err := configOf(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy := legacySnapshot{
+			ModelName: name,
+			Config:    cfg,
+			Params:    make(map[string][]float32),
+			Shapes:    make(map[string][2]int),
+		}
+		for _, p := range m.Params().List() {
+			data := make([]float32, len(p.M.Data))
+			copy(data, p.M.Data)
+			legacy.Params[p.Name] = data
+			legacy.Shapes[p.Name] = [2]int{p.M.Rows, p.M.Cols}
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(legacy); err != nil {
+			t.Fatalf("encode legacy %s: %v", name, err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("Load legacy %s: %v", name, err)
+		}
+		if got, want := Fingerprint(back), Fingerprint(m); got != want {
+			t.Errorf("%s: legacy roundtrip changed weights: %s vs %s", name, got, want)
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	m, err := New("distmult", testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb(m, 5)
+	base := Fingerprint(m)
+	if again := Fingerprint(m); again != base {
+		t.Errorf("fingerprint not stable: %s vs %s", base, again)
+	}
+
+	// Save/Load must preserve the digest exactly.
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Fingerprint(back); got != base {
+		t.Errorf("roundtrip changed fingerprint: %s vs %s", got, base)
+	}
+
+	// A single-bit weight change must change the digest.
+	p := m.Params().List()[0]
+	p.M.Data[0] += 1e-6
+	if got := Fingerprint(m); got == base {
+		t.Error("fingerprint unchanged after weight modification")
+	}
+
+	// Same weights in a different architecture must not collide.
+	other, err := New("transe", testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(other) == base {
+		t.Error("different models share a fingerprint")
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
+	"sort"
 	"time"
 
 	"repro/internal/kg"
@@ -27,7 +27,10 @@ type kvsContext struct {
 	objects []kg.EntityID
 }
 
-// buildKvsContexts groups the training triples by (s, r).
+// buildKvsContexts groups the training triples by (s, r). The result is
+// sorted by (s, r) — and each context's object list by object ID — so batch
+// composition depends only on Config.Seed, never on the grouping map's
+// iteration order.
 func buildKvsContexts(g *kg.Graph) []kvsContext {
 	type key struct {
 		s kg.EntityID
@@ -40,8 +43,15 @@ func buildKvsContexts(g *kg.Graph) []kvsContext {
 	}
 	out := make([]kvsContext, 0, len(grouped))
 	for k, objs := range grouped {
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 		out = append(out, kvsContext{s: k.s, r: k.r, objects: objs})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].s != out[j].s {
+			return out[i].s < out[j].s
+		}
+		return out[i].r < out[j].r
+	})
 	return out
 }
 
@@ -119,41 +129,18 @@ func RunKvsAll(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Con
 	return hist, nil
 }
 
-// runKvsBatch processes one batch of contexts (sharded across workers) and
-// applies a single optimizer step. Returns the summed mean-per-entity BCE
-// loss over the batch.
+// runKvsBatch processes one batch of contexts (chunked across workers, same
+// deterministic reduction as runBatch) and applies a single optimizer step.
+// Returns the summed mean-per-entity BCE loss over the batch.
 func runKvsBatch(model kge.KvsAllTrainable, batch []kvsContext, n int, cfg Config, smoothing float32) float64 {
-	workers := cfg.Workers
-	if workers > len(batch) {
-		workers = len(batch)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	type shardResult struct {
-		gb   *kge.GradBuffer
-		loss float64
-	}
-	results := make([]shardResult, workers)
-	var wg sync.WaitGroup
-	per := (len(batch) + workers - 1) / workers
 	invBatch := 1 / float32(len(batch))
 	invN := 1 / float32(n)
 
-	for w := 0; w < workers; w++ {
-		lo, hi := w*per, (w+1)*per
-		if hi > len(batch) {
-			hi = len(batch)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
+	results := runChunks(len(batch), cfg.Workers, func() func(chunk, lo, hi int) chunkResult {
+		scores := make([]float32, n)
+		upstream := make([]float32, n)
+		return func(chunk, lo, hi int) chunkResult {
 			gb := kge.NewGradBuffer(model.Params())
-			scores := make([]float32, n)
-			upstream := make([]float32, n)
 			var loss float64
 			for _, c := range batch[lo:hi] {
 				model.ScoreAllObjects(c.s, c.r, scores)
@@ -178,24 +165,11 @@ func runKvsBatch(model kge.KvsAllTrainable, batch []kvsContext, n int, cfg Confi
 				loss += ctxLoss * float64(invN)
 				model.AccumulateGradAllObjects(c.s, c.r, upstream, gb)
 			}
-			results[w] = shardResult{gb: gb, loss: loss}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+			return chunkResult{gb: gb, loss: loss}
+		}
+	})
 
-	var merged *kge.GradBuffer
-	var totalLoss float64
-	for _, r := range results {
-		if r.gb == nil {
-			continue
-		}
-		totalLoss += r.loss
-		if merged == nil {
-			merged = r.gb
-		} else {
-			merged.Merge(r.gb)
-		}
-	}
+	merged, totalLoss := mergeChunks(results)
 	if merged == nil {
 		return 0
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/kg"
@@ -31,7 +32,9 @@ type Config struct {
 	// parameter row a batch touches.
 	L2 float32
 	// Workers is the gradient-computation parallelism; zero means
-	// GOMAXPROCS.
+	// GOMAXPROCS. Training output is bit-identical for any value: the unit
+	// of work is the fixed-size gradient chunk, not the worker shard, so
+	// the float accumulation order never depends on Workers.
 	Workers int
 	// Seed drives shuffling and negative sampling.
 	Seed int64
@@ -175,49 +178,124 @@ func Run(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Config) (
 	return hist, nil
 }
 
-// runBatch computes gradients for one batch (sharded across workers),
-// applies L2 regularization on touched rows, and takes one optimizer step.
-// It returns the summed loss over the batch.
-func runBatch(model kge.Trainable, batch []kg.Triple, sampler *NegativeSampler, cfg Config, seed int64) float64 {
-	workers := cfg.Workers
-	if workers > len(batch) {
-		workers = len(batch)
+// gradChunkSize is the fixed number of examples per gradient chunk. The
+// chunk, not the worker shard, is the unit of scheduling: every batch is
+// split into ⌈len/gradChunkSize⌉ chunks regardless of Config.Workers, each
+// chunk accumulates into its own GradBuffer with an RNG stream derived from
+// (batchSeed, chunkIndex), and the buffers merge in ascending chunk order
+// after the barrier. Float accumulation order is therefore a function of
+// the batch alone, which is what makes training bit-identical for any
+// worker count.
+const gradChunkSize = 16
+
+// chunkResult is one chunk's accumulated gradients and summed loss.
+type chunkResult struct {
+	gb   *kge.GradBuffer
+	loss float64
+}
+
+// splitmix64 is a tiny deterministic rand.Source64 used for per-chunk
+// negative-sampling streams. Chunks are small and numerous, so stream setup
+// must be O(1): seeding math/rand's default source walks a ~12k-multiply
+// warmup, which would dominate a 16-example chunk's gradient work.
+type splitmix64 uint64
+
+func (s *splitmix64) Uint64() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix64) Seed(seed int64) { *s = splitmix64(seed) }
+
+// chunkRNG returns the deterministic generator for one chunk, its stream a
+// pure function of (batchSeed, chunkIndex) and decorrelated from
+// neighboring chunks by the splitmix64 golden-ratio increment.
+func chunkRNG(src *splitmix64, batchSeed int64, chunk int) *rand.Rand {
+	*src = splitmix64(uint64(batchSeed) + uint64(chunk+1)*0x9E3779B97F4A7C15)
+	return rand.New(src)
+}
+
+// runChunks splits n examples into fixed-size chunks and processes them on
+// up to `workers` goroutines pulling chunk indices from a shared counter.
+// newWorker runs once per goroutine and returns the per-chunk closure,
+// letting workers reuse scratch buffers across the chunks they pull. Each
+// chunk writes into its own result slot, so callers can reduce the returned
+// slice in a worker-count-independent order.
+func runChunks(n, workers int, newWorker func() func(chunk, lo, hi int) chunkResult) []chunkResult {
+	chunks := (n + gradChunkSize - 1) / gradChunkSize
+	if workers > chunks {
+		workers = chunks
 	}
 	if workers < 1 {
 		workers = 1
 	}
-
-	type shardResult struct {
-		gb   *kge.GradBuffer
-		loss float64
-	}
-	results := make([]shardResult, workers)
+	results := make([]chunkResult, chunks)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	per := (len(batch) + workers - 1) / workers
-	invBatch := 1 / float32(len(batch))
-
 	for w := 0; w < workers; w++ {
-		lo := w * per
-		hi := lo + per
-		if hi > len(batch) {
-			hi = len(batch)
-		}
-		if lo >= hi {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			do := newWorker()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo, hi := c*gradChunkSize, (c+1)*gradChunkSize
+				if hi > n {
+					hi = n
+				}
+				results[c] = do(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// mergeChunks folds per-chunk gradients and losses in ascending chunk
+// order. Merging into the first chunk's buffer keeps the per-row addition
+// sequence identical to a serial pass over the chunks.
+func mergeChunks(results []chunkResult) (*kge.GradBuffer, float64) {
+	var merged *kge.GradBuffer
+	var loss float64
+	for _, r := range results {
+		if r.gb == nil {
 			continue
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
+		loss += r.loss
+		if merged == nil {
+			merged = r.gb
+		} else {
+			merged.Merge(r.gb)
+		}
+	}
+	return merged, loss
+}
+
+// runBatch computes gradients for one batch (chunked across workers),
+// applies L2 regularization on touched rows, and takes one optimizer step.
+// It returns the summed loss over the batch.
+func runBatch(model kge.Trainable, batch []kg.Triple, sampler *NegativeSampler, cfg Config, seed int64) float64 {
+	invBatch := 1 / float32(len(batch))
+	results := runChunks(len(batch), cfg.Workers, func() func(chunk, lo, hi int) chunkResult {
+		negs := make([]kg.Triple, 0, cfg.NegSamples)
+		negScores := make([]float32, cfg.NegSamples)
+		gradNegs := make([]float32, cfg.NegSamples)
+		negCtxs := make([]kge.GradContext, cfg.NegSamples)
+		var src splitmix64
+		return func(chunk, lo, hi int) chunkResult {
 			gb := kge.NewGradBuffer(model.Params())
-			rng := rand.New(rand.NewSource(seed + int64(w)))
-			negs := make([]kg.Triple, 0, cfg.NegSamples)
-			negScores := make([]float32, cfg.NegSamples)
-			gradNegs := make([]float32, cfg.NegSamples)
+			rng := chunkRNG(&src, seed, chunk)
 			var loss float64
 			for _, pos := range batch[lo:hi] {
 				posScore, posCtx := model.ScoreWithContext(pos)
 				negs = sampler.CorruptN(negs, pos, cfg.NegSamples, rng)
-				negCtxs := make([]kge.GradContext, len(negs))
 				for i, n := range negs {
 					negScores[i], negCtxs[i] = model.ScoreWithContext(n)
 				}
@@ -232,24 +310,11 @@ func runBatch(model kge.Trainable, batch []kg.Triple, sampler *NegativeSampler, 
 					}
 				}
 			}
-			results[w] = shardResult{gb: gb, loss: loss}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+			return chunkResult{gb: gb, loss: loss}
+		}
+	})
 
-	var merged *kge.GradBuffer
-	var totalLoss float64
-	for _, r := range results {
-		if r.gb == nil {
-			continue
-		}
-		totalLoss += r.loss
-		if merged == nil {
-			merged = r.gb
-		} else {
-			merged.Merge(r.gb)
-		}
-	}
+	merged, totalLoss := mergeChunks(results)
 	if merged == nil {
 		return 0
 	}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# CI gate: vet, build, and race-checked tests. The discovery ranking stage
-# runs a concurrent group scheduler (internal/core.rankAll) and the
-# evaluation protocol a grouped worker pool (internal/eval.Evaluate), so the
-# race detector is mandatory, not optional, on every PR.
+# CI gate: vet, build, race-checked tests, and a training-determinism smoke
+# test. The discovery ranking stage runs a concurrent group scheduler
+# (internal/core.rankAll) and the evaluation protocol a grouped worker pool
+# (internal/eval.Evaluate), so the race detector is mandatory, not optional,
+# on every PR. The determinism gate trains the same tiny dataset at two
+# worker counts under both objectives and requires byte-identical
+# checkpoints — the guarantee the chunked gradient reduction provides.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,5 +18,35 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== determinism smoke =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/kggen" ./cmd/kggen
+go build -o "$tmp/kgtrain" ./cmd/kgtrain
+"$tmp/kggen" -preset tiny -out "$tmp/data" -seed 7 >/dev/null
+
+digest_of() { sed -n 's/.*sha256 \([0-9a-f]*\).*/\1/p' "$1"; }
+
+for obj in negsample kvsall; do
+  extra=()
+  if [ "$obj" = kvsall ]; then extra=(-kvsall); fi
+  for w in 1 4; do
+    "$tmp/kgtrain" -data "$tmp/data" -model distmult -dim 16 -epochs 2 \
+      -seed 11 -workers "$w" "${extra[@]+"${extra[@]}"}" -quiet \
+      -out "$tmp/$obj-w$w.kge" >"$tmp/$obj-w$w.log"
+  done
+  if ! cmp -s "$tmp/$obj-w1.kge" "$tmp/$obj-w4.kge"; then
+    echo "determinism smoke FAILED ($obj): workers=1 and workers=4 checkpoints differ" >&2
+    exit 1
+  fi
+  d1="$(digest_of "$tmp/$obj-w1.log")"
+  d4="$(digest_of "$tmp/$obj-w4.log")"
+  if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
+    echo "determinism smoke FAILED ($obj): digests '$d1' vs '$d4'" >&2
+    exit 1
+  fi
+  echo "$obj: workers-invariant checkpoint sha256 $d1"
+done
 
 echo "CI OK"
