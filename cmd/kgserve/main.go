@@ -1,12 +1,16 @@
 // Command kgserve exposes a trained KGE model and its knowledge graph as a
-// small JSON-over-HTTP service: triple scoring (with calibrated
-// probabilities), rank queries, link-prediction style object queries, and
-// on-demand fact discovery.
+// production JSON-over-HTTP service: triple scoring (with calibrated
+// probabilities), rank queries, link-prediction style object queries,
+// on-demand fact discovery, and Prometheus-text metrics. The serving
+// machinery — timeouts, graceful shutdown, panic recovery, body limits,
+// concurrency bounding, and the fingerprint-keyed response cache — lives in
+// internal/serve; this command is flag parsing and signal wiring.
 //
 //	kgserve -data data/fb10 -model transe.kge -addr :8080
 //
 //	GET  /healthz
 //	GET  /stats
+//	GET  /metrics
 //	POST /score     {"subject":"e1","relation":"r0","object":"e2"}
 //	POST /rank      {"subject":"e1","relation":"r0","object":"e2"}
 //	POST /query     {"subject":"e1","relation":"r0","k":10}
@@ -16,291 +20,62 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"net/http"
 	"os"
-	"sort"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/eval"
-	"repro/internal/kg"
-	"repro/internal/kge"
+	"repro/internal/serve"
 )
 
 func main() {
-	fs := flag.NewFlagSet("kgserve", flag.ExitOnError)
-	dataDir := fs.String("data", "", "dataset directory (required)")
-	modelPath := fs.String("model", "", "model checkpoint (required)")
-	addr := fs.String("addr", ":8080", "listen address")
-	fs.Parse(os.Args[1:])
-	if *dataDir == "" || *modelPath == "" {
-		fmt.Fprintln(os.Stderr, "kgserve: -data and -model are required")
-		os.Exit(1)
-	}
-	srv, err := newServer(*dataDir, *modelPath)
-	if err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "kgserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("kgserve: model %s over %s on %s", srv.model.Name(), srv.ds.Name, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
 
-// server bundles the loaded artifacts and their derived helpers.
-type server struct {
-	ds         *kg.Dataset
-	model      kge.Trainable
-	ranker     *eval.Ranker
-	calibrator *eval.PlattCalibrator // nil when no validation split exists
-}
+// run parses flags, loads the artifacts, and serves until ctx is cancelled
+// or a SIGINT/SIGTERM arrives, then drains gracefully.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("kgserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dataDir := fs.String("data", "", "dataset directory (required)")
+	modelPath := fs.String("model", "", "model checkpoint (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxDiscover := fs.Int("max-discover", 4, "max concurrent /discover executions (excess requests get 429)")
+	cacheSize := fs.Int("cache-size", 256, "response cache capacity in entries (negative disables caching)")
+	requestTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request deadline (slow /discover returns 503)")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes (larger bodies get 413)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" || *modelPath == "" {
+		return fmt.Errorf("-data and -model are required")
+	}
 
-func newServer(dataDir, modelPath string) (*server, error) {
-	ds, err := kg.LoadDataset(dataDir, dataDir)
-	if err != nil {
-		return nil, err
-	}
-	m, err := kge.LoadFile(modelPath)
-	if err != nil {
-		return nil, err
-	}
-	if m.NumEntities() < ds.Train.Entities.Len() {
-		return nil, fmt.Errorf("model covers %d entities, dataset has %d", m.NumEntities(), ds.Train.Entities.Len())
-	}
-	s := &server{ds: ds, model: m, ranker: eval.NewRanker(m, ds.All())}
-	if ds.Valid.Len() > 0 {
-		cal, err := eval.FitPlatt(m, ds.Valid, ds.All(), eval.CalibrationOptions{Seed: 1})
-		if err == nil {
-			s.calibrator = cal
-		}
-	}
-	return s, nil
-}
-
-func (s *server) routes() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /score", s.handleScore)
-	mux.HandleFunc("POST /rank", s.handleRank)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /discover", s.handleDiscover)
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	m := s.ds.Metadata()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset":    m.Name,
-		"model":      s.model.Name(),
-		"dim":        s.model.Dim(),
-		"train":      m.Train,
-		"validation": m.Validation,
-		"test":       m.Test,
-		"entities":   m.Entities,
-		"relations":  m.Relations,
-		"calibrated": s.calibrator != nil,
-	})
-}
-
-// tripleRequest names a triple by its dictionary labels.
-type tripleRequest struct {
-	Subject  string `json:"subject"`
-	Relation string `json:"relation"`
-	Object   string `json:"object"`
-}
-
-// resolve maps the request names to IDs, reporting which name is unknown.
-func (s *server) resolve(req tripleRequest) (kg.Triple, error) {
-	sid, ok := s.ds.Train.Entities.Lookup(req.Subject)
-	if !ok {
-		return kg.Triple{}, fmt.Errorf("unknown subject %q", req.Subject)
-	}
-	rid, ok := s.ds.Train.Relations.Lookup(req.Relation)
-	if !ok {
-		return kg.Triple{}, fmt.Errorf("unknown relation %q", req.Relation)
-	}
-	oid, ok := s.ds.Train.Entities.Lookup(req.Object)
-	if !ok {
-		return kg.Triple{}, fmt.Errorf("unknown object %q", req.Object)
-	}
-	return kg.Triple{S: kg.EntityID(sid), R: kg.RelationID(rid), O: kg.EntityID(oid)}, nil
-}
-
-func decode[T any](w http.ResponseWriter, r *http.Request, into *T) bool {
-	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-		return false
-	}
-	return true
-}
-
-func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
-	var req tripleRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	t, err := s.resolve(req)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	score := s.model.Score(t)
-	resp := map[string]any{"score": score, "known": s.ds.All().Contains(t)}
-	if s.calibrator != nil {
-		resp["probability"] = s.calibrator.Prob(score)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
-	var req tripleRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	t, err := s.resolve(req)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"rank": s.ranker.RankObject(t)})
-}
-
-type queryRequest struct {
-	Subject  string `json:"subject"`
-	Relation string `json:"relation"`
-	K        int    `json:"k"`
-}
-
-type queryAnswer struct {
-	Object string  `json:"object"`
-	Score  float32 `json:"score"`
-	Known  bool    `json:"known"`
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	sid, ok := s.ds.Train.Entities.Lookup(req.Subject)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown subject %q", req.Subject)
-		return
-	}
-	rid, ok := s.ds.Train.Relations.Lookup(req.Relation)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown relation %q", req.Relation)
-		return
-	}
-	k := req.K
-	if k <= 0 {
-		k = 10
-	}
-	if k > s.model.NumEntities() {
-		k = s.model.NumEntities()
-	}
-	scores := s.model.ScoreAllObjects(kg.EntityID(sid), kg.RelationID(rid), make([]float32, s.model.NumEntities()))
-	order := make([]int, len(scores))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
-	all := s.ds.All()
-	answers := make([]queryAnswer, 0, k)
-	for _, o := range order[:k] {
-		t := kg.Triple{S: kg.EntityID(sid), R: kg.RelationID(rid), O: kg.EntityID(o)}
-		answers = append(answers, queryAnswer{
-			Object: s.ds.Train.Entities.Name(int32(o)),
-			Score:  scores[o],
-			Known:  all.Contains(t),
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"answers": answers})
-}
-
-type discoverRequest struct {
-	Strategy      string   `json:"strategy"`
-	TopN          int      `json:"top_n"`
-	MaxCandidates int      `json:"max_candidates"`
-	Relations     []string `json:"relations"`
-	Limit         int      `json:"limit"`
-	Seed          int64    `json:"seed"`
-}
-
-type discoveredFact struct {
-	Subject  string `json:"subject"`
-	Relation string `json:"relation"`
-	Object   string `json:"object"`
-	Rank     int    `json:"rank"`
-}
-
-func (s *server) handleDiscover(w http.ResponseWriter, r *http.Request) {
-	var req discoverRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	if req.Strategy == "" {
-		req.Strategy = "entity_frequency"
-	}
-	strategy, err := core.ExtendedStrategyByName(req.Strategy)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	var relations []kg.RelationID
-	for _, name := range req.Relations {
-		rid, ok := s.ds.Train.Relations.Lookup(name)
-		if !ok {
-			writeError(w, http.StatusNotFound, "unknown relation %q", name)
-			return
-		}
-		relations = append(relations, kg.RelationID(rid))
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Minute)
-	defer cancel()
-	res, err := core.DiscoverFacts(ctx, s.model, s.ds.Train, strategy, core.Options{
-		TopN:          req.TopN,
-		MaxCandidates: req.MaxCandidates,
-		Relations:     relations,
-		Seed:          req.Seed,
+	logger := log.New(stderr, "", log.LstdFlags)
+	srv, err := serve.Load(*dataDir, *modelPath, serve.Config{
+		Addr:            *addr,
+		MaxDiscover:     *maxDiscover,
+		CacheSize:       *cacheSize,
+		RequestTimeout:  *requestTimeout,
+		MaxBodyBytes:    *maxBody,
+		ShutdownTimeout: *shutdownTimeout,
+		Logger:          logger,
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "discovery failed: %v", err)
-		return
+		return err
 	}
-	limit := req.Limit
-	if limit <= 0 || limit > len(res.Facts) {
-		limit = len(res.Facts)
-	}
-	facts := make([]discoveredFact, 0, limit)
-	for _, f := range res.Facts[:limit] {
-		facts = append(facts, discoveredFact{
-			Subject:  s.ds.Train.Entities.Name(int32(f.Triple.S)),
-			Relation: s.ds.Train.Relations.Name(int32(f.Triple.R)),
-			Object:   s.ds.Train.Entities.Name(int32(f.Triple.O)),
-			Rank:     f.Rank,
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"facts":      facts,
-		"total":      len(res.Facts),
-		"mrr":        res.MRR(),
-		"runtime_ms": res.Stats.Total.Milliseconds(),
-	})
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("kgserve: model %s (fingerprint %.12s…) over %s",
+		srv.Model().Name(), srv.Fingerprint(), srv.Dataset().Name)
+	return srv.ListenAndServe(ctx)
 }

@@ -3,26 +3,44 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
+	"io"
+	"log"
+	"net"
 	"net/http"
-	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/kg"
 	"repro/internal/kge"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/train"
 )
 
-// testServer builds a server over a tiny trained model.
-func testServer(t *testing.T) *server {
+func TestRunFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), nil, &buf); err == nil {
+		t.Error("run without -data/-model should fail")
+	}
+	if err := run(context.Background(), []string{"-bogus"}, &buf); err == nil {
+		t.Error("run with an unknown flag should fail")
+	}
+	if err := run(context.Background(), []string{"-data", "x"}, &buf); err == nil {
+		t.Error("run without -model should fail")
+	}
+}
+
+// trainArtifacts writes a tiny dataset and trained checkpoint to disk, the
+// on-disk form serve.Load consumes.
+func trainArtifacts(t *testing.T) (dataDir, modelPath string) {
 	t.Helper()
 	ds, err := synth.Generate(synth.Tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
-	dataDir := filepath.Join(t.TempDir(), "ds")
+	dataDir = filepath.Join(t.TempDir(), "ds")
 	if err := kg.SaveDataset(ds, dataDir); err != nil {
 		t.Fatal(err)
 	}
@@ -42,159 +60,85 @@ func testServer(t *testing.T) *server {
 	if _, err := train.Run(context.Background(), m, reloaded, train.Config{Epochs: 3, BatchSize: 64, Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
-	modelPath := filepath.Join(t.TempDir(), "m.kge")
+	modelPath = filepath.Join(t.TempDir(), "m.kge")
 	if err := kge.SaveFile(m, modelPath); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(dataDir, modelPath)
+	return dataDir, modelPath
+}
+
+// TestServeEndToEnd exercises the wiring main performs: load artifacts from
+// disk, serve over a real TCP listener, hit /healthz and /discover twice
+// (the second must be a cache hit), confirm the hit shows up in /metrics,
+// then cancel the context and require a clean graceful drain.
+func TestServeEndToEnd(t *testing.T) {
+	dataDir, modelPath := trainArtifacts(t)
+	srv, err := serve.Load(dataDir, modelPath, serve.Config{Logger: log.New(io.Discard, "", 0)})
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("serve.Load: %v", err)
 	}
-	return srv
-}
+	if srv.Fingerprint() == "" {
+		t.Error("empty model fingerprint")
+	}
 
-func do(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
-	t.Helper()
-	var buf bytes.Buffer
-	if body != nil {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
-			t.Fatal(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"strategy":"graph_degree","top_n":20,"max_candidates":30,"limit":5,"seed":3}`
+	post := func() (string, string) {
+		resp, err := http.Post(base+"/discover", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("discover: %v", err)
 		}
-	}
-	req := httptest.NewRequest(method, path, &buf)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	var out map[string]any
-	if rec.Body.Len() > 0 {
-		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
-			t.Fatalf("invalid JSON response %q: %v", rec.Body.String(), err)
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("discover: %d %s", resp.StatusCode, b)
 		}
+		return string(b), resp.Header.Get("X-Cache")
 	}
-	return rec, out
-}
+	b1, c1 := post()
+	b2, c2 := post()
+	if c1 != "miss" || c2 != "hit" {
+		t.Errorf("X-Cache sequence %q, %q; want miss, hit", c1, c2)
+	}
+	if b1 != b2 {
+		t.Errorf("cached body differs from original:\n%s\nvs\n%s", b1, b2)
+	}
 
-func TestHealthAndStats(t *testing.T) {
-	h := testServer(t).routes()
-	rec, body := do(t, h, "GET", "/healthz", nil)
-	if rec.Code != http.StatusOK || body["status"] != "ok" {
-		t.Fatalf("healthz: %d %v", rec.Code, body)
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
 	}
-	rec, body = do(t, h, "GET", "/stats", nil)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("stats: %d", rec.Code)
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(mb), "kgserve_cache_hits_total 1") {
+		t.Errorf("metrics missing cache hit counter:\n%s", mb)
 	}
-	if body["entities"].(float64) != 80 || body["relations"].(float64) != 6 {
-		t.Errorf("stats payload: %v", body)
-	}
-	if body["calibrated"] != true {
-		t.Error("expected a fitted calibrator with a validation split present")
-	}
-}
 
-func TestScoreEndpoint(t *testing.T) {
-	h := testServer(t).routes()
-	rec, body := do(t, h, "POST", "/score", tripleRequest{Subject: "e1", Relation: "r0", Object: "e2"})
-	if rec.Code != http.StatusOK {
-		t.Fatalf("score: %d %v", rec.Code, body)
-	}
-	if _, ok := body["score"]; !ok {
-		t.Error("missing score")
-	}
-	if p, ok := body["probability"].(float64); !ok || p < 0 || p > 1 {
-		t.Errorf("probability = %v", body["probability"])
-	}
-	// Unknown entity → 404.
-	rec, _ = do(t, h, "POST", "/score", tripleRequest{Subject: "ghost", Relation: "r0", Object: "e2"})
-	if rec.Code != http.StatusNotFound {
-		t.Errorf("unknown subject: %d, want 404", rec.Code)
-	}
-	// Malformed JSON → 400.
-	req := httptest.NewRequest("POST", "/score", bytes.NewBufferString("{"))
-	rec2 := httptest.NewRecorder()
-	h.ServeHTTP(rec2, req)
-	if rec2.Code != http.StatusBadRequest {
-		t.Errorf("malformed JSON: %d, want 400", rec2.Code)
-	}
-}
-
-func TestRankEndpoint(t *testing.T) {
-	h := testServer(t).routes()
-	rec, body := do(t, h, "POST", "/rank", tripleRequest{Subject: "e1", Relation: "r0", Object: "e2"})
-	if rec.Code != http.StatusOK {
-		t.Fatalf("rank: %d %v", rec.Code, body)
-	}
-	rank := body["rank"].(float64)
-	if rank < 1 || rank > 80 {
-		t.Errorf("rank %v out of [1, 80]", rank)
-	}
-}
-
-func TestQueryEndpoint(t *testing.T) {
-	h := testServer(t).routes()
-	rec, body := do(t, h, "POST", "/query", queryRequest{Subject: "e1", Relation: "r0", K: 5})
-	if rec.Code != http.StatusOK {
-		t.Fatalf("query: %d %v", rec.Code, body)
-	}
-	answers := body["answers"].([]any)
-	if len(answers) != 5 {
-		t.Fatalf("answers = %d, want 5", len(answers))
-	}
-	// Scores must be non-increasing.
-	prev := answers[0].(map[string]any)["score"].(float64)
-	for _, a := range answers[1:] {
-		cur := a.(map[string]any)["score"].(float64)
-		if cur > prev {
-			t.Fatal("answers not sorted by score")
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
 		}
-		prev = cur
-	}
-	rec, _ = do(t, h, "POST", "/query", queryRequest{Subject: "e1", Relation: "ghost"})
-	if rec.Code != http.StatusNotFound {
-		t.Errorf("unknown relation: %d", rec.Code)
-	}
-}
-
-func TestDiscoverEndpoint(t *testing.T) {
-	h := testServer(t).routes()
-	rec, body := do(t, h, "POST", "/discover", discoverRequest{
-		Strategy: "graph_degree", TopN: 20, MaxCandidates: 30, Limit: 5, Seed: 3,
-	})
-	if rec.Code != http.StatusOK {
-		t.Fatalf("discover: %d %v", rec.Code, body)
-	}
-	facts := body["facts"].([]any)
-	if len(facts) == 0 || len(facts) > 5 {
-		t.Fatalf("facts = %d, want 1..5", len(facts))
-	}
-	first := facts[0].(map[string]any)
-	for _, field := range []string{"subject", "relation", "object", "rank"} {
-		if _, ok := first[field]; !ok {
-			t.Errorf("fact missing %s: %v", field, first)
-		}
-	}
-	if body["total"].(float64) < float64(len(facts)) {
-		t.Error("total < returned facts")
-	}
-	// Relation-restricted discovery with a named relation.
-	rec, body = do(t, h, "POST", "/discover", discoverRequest{
-		Strategy: "uniform_random", TopN: 20, MaxCandidates: 20,
-		Relations: []string{"r1"}, Limit: 3, Seed: 4,
-	})
-	if rec.Code != http.StatusOK {
-		t.Fatalf("restricted discover: %d %v", rec.Code, body)
-	}
-	for _, f := range body["facts"].([]any) {
-		if rel := f.(map[string]any)["relation"].(string); rel != "r1" {
-			t.Errorf("fact for relation %q, want r1", rel)
-		}
-	}
-	// Unknown strategy → 400; unknown relation → 404.
-	rec, _ = do(t, h, "POST", "/discover", discoverRequest{Strategy: "bogus"})
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("unknown strategy: %d", rec.Code)
-	}
-	rec, _ = do(t, h, "POST", "/discover", discoverRequest{Relations: []string{"ghost"}})
-	if rec.Code != http.StatusNotFound {
-		t.Errorf("unknown relation: %d", rec.Code)
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not drain after cancel")
 	}
 }

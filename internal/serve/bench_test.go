@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServeDiscoverCached measures the hot serving path: identical
+// /discover requests answered from the LRU cache, hammered from parallel
+// goroutines the way production traffic would arrive.
+func BenchmarkServeDiscoverCached(b *testing.B) {
+	srv := newTestServer(b, nil)
+	h := srv.Handler()
+	// Prime the cache with one cold run.
+	req := httptest.NewRequest("POST", "/discover", strings.NewReader(discoverBody))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("prime: %d %s", rec.Code, rec.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", "/discover", strings.NewReader(discoverBody))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("code %d", rec.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkServeDiscoverCold measures the same endpoint with caching
+// disabled and a fresh seed per request, so every iteration pays for a full
+// Algorithm 1 sweep.
+func BenchmarkServeDiscoverCold(b *testing.B) {
+	srv := newTestServer(b, func(c *Config) { c.CacheSize = -1 })
+	h := srv.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"strategy":"graph_degree","top_n":20,"max_candidates":30,"limit":5,"seed":%d}`, i)
+		req := httptest.NewRequest("POST", "/discover", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kg"
+)
+
+// errOverloaded reports that the discovery semaphore is full; the handler
+// maps it to 429 + Retry-After.
+var errOverloaded = errors.New("serve: discovery concurrency limit reached")
+
+// decode unmarshals the request body, translating the two decode failure
+// classes to their status codes: 413 when the body-limit middleware tripped
+// and 400 for malformed JSON (including an empty body).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	m := s.ds.Metadata()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":     m.Name,
+		"model":       s.model.Name(),
+		"dim":         s.model.Dim(),
+		"fingerprint": s.fingerprint,
+		"train":       m.Train,
+		"validation":  m.Validation,
+		"test":        m.Test,
+		"entities":    m.Entities,
+		"relations":   m.Relations,
+		"calibrated":  s.calibrator != nil,
+	})
+}
+
+// tripleRequest names a triple by its dictionary labels.
+type tripleRequest struct {
+	Subject  string `json:"subject"`
+	Relation string `json:"relation"`
+	Object   string `json:"object"`
+}
+
+// resolve maps the request names to IDs, reporting which name is unknown.
+func (s *Server) resolve(req tripleRequest) (kg.Triple, error) {
+	sid, ok := s.ds.Train.Entities.Lookup(req.Subject)
+	if !ok {
+		return kg.Triple{}, fmt.Errorf("unknown subject %q", req.Subject)
+	}
+	rid, ok := s.ds.Train.Relations.Lookup(req.Relation)
+	if !ok {
+		return kg.Triple{}, fmt.Errorf("unknown relation %q", req.Relation)
+	}
+	oid, ok := s.ds.Train.Entities.Lookup(req.Object)
+	if !ok {
+		return kg.Triple{}, fmt.Errorf("unknown object %q", req.Object)
+	}
+	return kg.Triple{S: kg.EntityID(sid), R: kg.RelationID(rid), O: kg.EntityID(oid)}, nil
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req tripleRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	t, err := s.resolve(req)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	score := s.model.Score(t)
+	resp := map[string]any{"score": score, "known": s.ds.All().Contains(t)}
+	if s.calibrator != nil {
+		resp["probability"] = s.calibrator.Prob(score)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var req tripleRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	t, err := s.resolve(req)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rank": s.ranker.RankObject(t)})
+}
+
+type queryRequest struct {
+	Subject  string `json:"subject"`
+	Relation string `json:"relation"`
+	K        int    `json:"k"`
+}
+
+type queryAnswer struct {
+	Object string  `json:"object"`
+	Score  float32 `json:"score"`
+	Known  bool    `json:"known"`
+}
+
+// queryKey is the canonicalized form of a query request: resolved IDs and
+// the effective k, so label aliases and default-k spellings share one cache
+// entry.
+type queryKey struct {
+	S kg.EntityID   `json:"s"`
+	R kg.RelationID `json:"r"`
+	K int           `json:"k"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "k must be non-negative, got %d", req.K)
+		return
+	}
+	sid, ok := s.ds.Train.Entities.Lookup(req.Subject)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown subject %q", req.Subject)
+		return
+	}
+	rid, ok := s.ds.Train.Relations.Lookup(req.Relation)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown relation %q", req.Relation)
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k > s.model.NumEntities() {
+		k = s.model.NumEntities()
+	}
+	key := s.cacheKey("query", queryKey{S: kg.EntityID(sid), R: kg.RelationID(rid), K: k})
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.incCacheHit()
+		w.Header().Set("X-Cache", "hit")
+		writeJSONBody(w, http.StatusOK, body)
+		return
+	}
+	s.metrics.incCacheMiss()
+	body, err, joined := s.flight.Do(key, func() ([]byte, error) {
+		b, err := s.runQuery(kg.EntityID(sid), kg.RelationID(rid), k)
+		if err == nil {
+			s.cache.Add(key, b)
+		}
+		return b, err
+	})
+	if joined {
+		s.metrics.incDedup()
+		w.Header().Set("X-Cache", "dedup")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+	writeJSONBody(w, http.StatusOK, body)
+}
+
+// runQuery performs one full object sweep for (s, r) and renders the top-k
+// answer body.
+func (s *Server) runQuery(sid kg.EntityID, rid kg.RelationID, k int) ([]byte, error) {
+	scores := s.model.ScoreAllObjects(sid, rid, make([]float32, s.model.NumEntities()))
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	all := s.ds.All()
+	answers := make([]queryAnswer, 0, k)
+	for _, o := range order[:k] {
+		t := kg.Triple{S: sid, R: rid, O: kg.EntityID(o)}
+		answers = append(answers, queryAnswer{
+			Object: s.ds.Train.Entities.Name(int32(o)),
+			Score:  scores[o],
+			Known:  all.Contains(t),
+		})
+	}
+	return json.Marshal(map[string]any{"answers": answers})
+}
+
+type discoverRequest struct {
+	Strategy      string   `json:"strategy"`
+	TopN          int      `json:"top_n"`
+	MaxCandidates int      `json:"max_candidates"`
+	Relations     []string `json:"relations"`
+	Limit         int      `json:"limit"`
+	Seed          int64    `json:"seed"`
+}
+
+// discoverKey is the canonicalized form of a discover request: the strategy
+// name normalized, relation labels resolved to IDs, defaults applied. Its
+// JSON rendering (fixed field order) plus the weight fingerprint is the
+// cache key.
+type discoverKey struct {
+	Strategy      string          `json:"strategy"`
+	TopN          int             `json:"top_n"`
+	MaxCandidates int             `json:"max_candidates"`
+	Relations     []kg.RelationID `json:"relations"`
+	Limit         int             `json:"limit"`
+	Seed          int64           `json:"seed"`
+}
+
+type discoveredFact struct {
+	Subject  string `json:"subject"`
+	Relation string `json:"relation"`
+	Object   string `json:"object"`
+	Rank     int    `json:"rank"`
+}
+
+// cacheKey derives the response-cache key: endpoint, the canonical weight
+// fingerprint (so a model swap can never serve stale answers), and the
+// canonicalized request.
+func (s *Server) cacheKey(endpoint string, canonical any) string {
+	b, _ := json.Marshal(canonical)
+	return endpoint + "\x00" + s.fingerprint + "\x00" + string(b)
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req discoverRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.TopN < 0 || req.MaxCandidates < 0 || req.Limit < 0 {
+		writeError(w, http.StatusBadRequest,
+			"top_n, max_candidates, and limit must be non-negative, got %d/%d/%d",
+			req.TopN, req.MaxCandidates, req.Limit)
+		return
+	}
+	if req.Strategy == "" {
+		req.Strategy = "entity_frequency"
+	}
+	strategy, err := core.ExtendedStrategyByName(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var relations []kg.RelationID
+	for _, name := range req.Relations {
+		rid, ok := s.ds.Train.Relations.Lookup(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown relation %q", name)
+			return
+		}
+		relations = append(relations, kg.RelationID(rid))
+	}
+
+	key := s.cacheKey("discover", discoverKey{
+		Strategy:      req.Strategy,
+		TopN:          req.TopN,
+		MaxCandidates: req.MaxCandidates,
+		Relations:     relations,
+		Limit:         req.Limit,
+		Seed:          req.Seed,
+	})
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.incCacheHit()
+		w.Header().Set("X-Cache", "hit")
+		writeJSONBody(w, http.StatusOK, body)
+		return
+	}
+	s.metrics.incCacheMiss()
+	body, err, joined := s.flight.Do(key, func() ([]byte, error) {
+		b, err := s.runDiscover(strategy, relations, req)
+		if err == nil {
+			s.cache.Add(key, b)
+		}
+		return b, err
+	})
+	if joined {
+		s.metrics.incDedup()
+		w.Header().Set("X-Cache", "dedup")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	switch {
+	case err == nil:
+		writeJSONBody(w, http.StatusOK, body)
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server is at its discovery concurrency limit, retry shortly")
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// Never partial facts: DiscoverFacts propagates cancellation as an
+		// error instead of returning a truncated result set.
+		writeError(w, http.StatusServiceUnavailable, "discovery timed out after %s", s.cfg.RequestTimeout)
+	default:
+		writeError(w, http.StatusInternalServerError, "discovery failed: %v", err)
+	}
+}
+
+// runDiscover executes one discovery sweep under the concurrency semaphore
+// and renders the response body. It runs on a server-scoped context (with
+// the same deadline as any request) rather than the leader request's
+// context, so a single client disconnect cannot cancel a sweep that other
+// coalesced requests are waiting on.
+func (s *Server) runDiscover(strategy core.Strategy, relations []kg.RelationID, req discoverRequest) ([]byte, error) {
+	select {
+	case s.discoverSem <- struct{}{}:
+	default:
+		s.metrics.incRejected()
+		return nil, errOverloaded
+	}
+	defer func() { <-s.discoverSem }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, err := s.discover(ctx, s.model, s.ds.Train, strategy, core.Options{
+		TopN:          req.TopN,
+		MaxCandidates: req.MaxCandidates,
+		Relations:     relations,
+		Seed:          req.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > len(res.Facts) {
+		limit = len(res.Facts)
+	}
+	facts := make([]discoveredFact, 0, limit)
+	for _, f := range res.Facts[:limit] {
+		facts = append(facts, discoveredFact{
+			Subject:  s.ds.Train.Entities.Name(int32(f.Triple.S)),
+			Relation: s.ds.Train.Relations.Name(int32(f.Triple.R)),
+			Object:   s.ds.Train.Entities.Name(int32(f.Triple.O)),
+			Rank:     f.Rank,
+		})
+	}
+	return json.Marshal(map[string]any{
+		"facts":      facts,
+		"total":      len(res.Facts),
+		"mrr":        res.MRR(),
+		"runtime_ms": res.Stats.Total.Milliseconds(),
+	})
+}

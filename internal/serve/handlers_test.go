@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kg"
+	"repro/internal/kge"
+)
+
+func TestHealthAndStats(t *testing.T) {
+	srv := newTestServer(t, nil)
+	h := srv.Handler()
+	rec, body := doReq(t, h, "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", rec.Code, body)
+	}
+	rec, body = doReq(t, h, "GET", "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	if body["entities"].(float64) != 80 || body["relations"].(float64) != 6 {
+		t.Errorf("stats payload: %v", body)
+	}
+	if body["calibrated"] != true {
+		t.Error("expected a fitted calibrator with a validation split present")
+	}
+	if body["fingerprint"] != srv.Fingerprint() {
+		t.Errorf("stats fingerprint %v, want %s", body["fingerprint"], srv.Fingerprint())
+	}
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	h := newTestServer(t, nil).Handler()
+	rec, body := doReq(t, h, "POST", "/score", tripleRequest{Subject: "e1", Relation: "r0", Object: "e2"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("score: %d %v", rec.Code, body)
+	}
+	if _, ok := body["score"]; !ok {
+		t.Error("missing score")
+	}
+	if p, ok := body["probability"].(float64); !ok || p < 0 || p > 1 {
+		t.Errorf("probability = %v", body["probability"])
+	}
+}
+
+func TestRankEndpoint(t *testing.T) {
+	h := newTestServer(t, nil).Handler()
+	rec, body := doReq(t, h, "POST", "/rank", tripleRequest{Subject: "e1", Relation: "r0", Object: "e2"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rank: %d %v", rec.Code, body)
+	}
+	rank := body["rank"].(float64)
+	if rank < 1 || rank > 80 {
+		t.Errorf("rank %v out of [1, 80]", rank)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	h := newTestServer(t, nil).Handler()
+	rec, body := doReq(t, h, "POST", "/query", queryRequest{Subject: "e1", Relation: "r0", K: 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %v", rec.Code, body)
+	}
+	answers := body["answers"].([]any)
+	if len(answers) != 5 {
+		t.Fatalf("answers = %d, want 5", len(answers))
+	}
+	// Scores must be non-increasing.
+	prev := answers[0].(map[string]any)["score"].(float64)
+	for _, a := range answers[1:] {
+		cur := a.(map[string]any)["score"].(float64)
+		if cur > prev {
+			t.Fatal("answers not sorted by score")
+		}
+		prev = cur
+	}
+	// Zero k falls back to the default of 10.
+	rec, body = doReq(t, h, "POST", "/query", queryRequest{Subject: "e1", Relation: "r0"})
+	if rec.Code != http.StatusOK || len(body["answers"].([]any)) != 10 {
+		t.Errorf("default k: %d, %d answers, want 200 with 10", rec.Code, len(body["answers"].([]any)))
+	}
+}
+
+func TestDiscoverEndpoint(t *testing.T) {
+	h := newTestServer(t, nil).Handler()
+	rec, body := doReq(t, h, "POST", "/discover", discoverRequest{
+		Strategy: "graph_degree", TopN: 20, MaxCandidates: 30, Limit: 5, Seed: 3,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("discover: %d %v", rec.Code, body)
+	}
+	facts := body["facts"].([]any)
+	if len(facts) == 0 || len(facts) > 5 {
+		t.Fatalf("facts = %d, want 1..5", len(facts))
+	}
+	first := facts[0].(map[string]any)
+	for _, field := range []string{"subject", "relation", "object", "rank"} {
+		if _, ok := first[field]; !ok {
+			t.Errorf("fact missing %s: %v", field, first)
+		}
+	}
+	if body["total"].(float64) < float64(len(facts)) {
+		t.Error("total < returned facts")
+	}
+	// Relation-restricted discovery with a named relation.
+	rec, body = doReq(t, h, "POST", "/discover", discoverRequest{
+		Strategy: "uniform_random", TopN: 20, MaxCandidates: 20,
+		Relations: []string{"r1"}, Limit: 3, Seed: 4,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("restricted discover: %d %v", rec.Code, body)
+	}
+	for _, f := range body["facts"].([]any) {
+		if rel := f.(map[string]any)["relation"].(string); rel != "r1" {
+			t.Errorf("fact for relation %q, want r1", rel)
+		}
+	}
+}
+
+// TestHandlerErrorPaths is the table-driven error matrix over every
+// endpoint: each row must produce the expected status and, for non-2xx,
+// a well-formed {"error": ...} JSON body.
+func TestHandlerErrorPaths(t *testing.T) {
+	h := newTestServer(t, nil).Handler()
+	tests := []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		{"score malformed JSON", "/score", "{", http.StatusBadRequest},
+		{"score empty body", "/score", "", http.StatusBadRequest},
+		{"score unknown subject", "/score", `{"subject":"ghost","relation":"r0","object":"e2"}`, http.StatusNotFound},
+		{"score unknown object", "/score", `{"subject":"e1","relation":"r0","object":"ghost"}`, http.StatusNotFound},
+		{"rank malformed JSON", "/rank", `{"subject":`, http.StatusBadRequest},
+		{"rank unknown relation", "/rank", `{"subject":"e1","relation":"ghost","object":"e2"}`, http.StatusNotFound},
+		{"query malformed JSON", "/query", "not json", http.StatusBadRequest},
+		{"query unknown subject", "/query", `{"subject":"ghost","relation":"r0"}`, http.StatusNotFound},
+		{"query unknown relation", "/query", `{"subject":"e1","relation":"ghost"}`, http.StatusNotFound},
+		{"query negative k", "/query", `{"subject":"e1","relation":"r0","k":-1}`, http.StatusBadRequest},
+		{"query zero k ok", "/query", `{"subject":"e1","relation":"r0","k":0}`, http.StatusOK},
+		{"discover malformed JSON", "/discover", `{"strategy"`, http.StatusBadRequest},
+		{"discover unknown strategy", "/discover", `{"strategy":"bogus"}`, http.StatusBadRequest},
+		{"discover unknown relation", "/discover", `{"relations":["ghost"]}`, http.StatusNotFound},
+		{"discover negative top_n", "/discover", `{"top_n":-5}`, http.StatusBadRequest},
+		{"discover negative max_candidates", "/discover", `{"max_candidates":-1}`, http.StatusBadRequest},
+		{"discover negative limit", "/discover", `{"limit":-2}`, http.StatusBadRequest},
+		{"discover zero params ok", "/discover", `{"strategy":"graph_degree","top_n":20,"max_candidates":30,"seed":9}`, http.StatusOK},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rec, body := doReq(t, h, "POST", tt.path, tt.body)
+			if rec.Code != tt.want {
+				t.Fatalf("code %d, want %d (body %v)", rec.Code, tt.want, body)
+			}
+			if rec.Code >= 300 {
+				msg, ok := body["error"].(string)
+				if !ok || msg == "" {
+					t.Fatalf("non-2xx without error JSON: %q", rec.Body.String())
+				}
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type %q", ct)
+			}
+		})
+	}
+}
+
+// TestOversizedBody trips the body-limit middleware on every POST endpoint.
+func TestOversizedBody(t *testing.T) {
+	h := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 64 }).Handler()
+	big := `{"subject":"` + strings.Repeat("x", 200) + `"}`
+	for _, path := range []string{"/score", "/rank", "/query", "/discover"} {
+		rec, body := doReq(t, h, "POST", path, big)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: code %d, want 413", path, rec.Code)
+		}
+		if msg, ok := body["error"].(string); !ok || msg == "" {
+			t.Errorf("%s: 413 without error JSON: %q", path, rec.Body.String())
+		}
+	}
+}
+
+// TestDiscoverDeadline covers the request-deadline path with a discover
+// stub that honors cancellation the way core.DiscoverFacts does: the
+// response must be a 503 JSON error with no partial facts.
+func TestDiscoverDeadline(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.RequestTimeout = 20 * time.Millisecond })
+	srv.discover = func(ctx context.Context, _ kge.Model, _ *kg.Graph, _ core.Strategy, _ core.Options) (*core.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	rec, body := doReq(t, srv.Handler(), "POST", "/discover", discoverBody)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code %d, want 503 (body %v)", rec.Code, body)
+	}
+	if msg, ok := body["error"].(string); !ok || msg == "" {
+		t.Fatalf("503 without error JSON: %q", rec.Body.String())
+	}
+	if _, ok := body["facts"]; ok {
+		t.Fatal("timed-out discovery leaked partial facts into the response")
+	}
+}
+
+// TestDiscoverDeadlineRealSweep is the regression companion for the rankAll
+// cancellation fix from PR 1: the real core.DiscoverFacts under an
+// already-expired deadline must propagate the context error — never return
+// partial (bogus rank-0) facts — and the handler must render it as a 503.
+func TestDiscoverDeadlineRealSweep(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.RequestTimeout = time.Nanosecond })
+	rec, body := doReq(t, srv.Handler(), "POST", "/discover", discoverBody)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code %d, want 503 (body %v)", rec.Code, body)
+	}
+	if _, ok := body["facts"]; ok {
+		t.Fatal("timed-out discovery leaked partial facts into the response")
+	}
+}
+
+// TestQueryCache exercises the /query cache path: miss then hit with
+// byte-identical bodies.
+func TestQueryCache(t *testing.T) {
+	srv := newTestServer(t, nil)
+	h := srv.Handler()
+	rec1, _ := doReq(t, h, "POST", "/query", queryRequest{Subject: "e3", Relation: "r2", K: 4})
+	rec2, _ := doReq(t, h, "POST", "/query", queryRequest{Subject: "e3", Relation: "r2", K: 4})
+	if rec1.Code != http.StatusOK || rec2.Code != http.StatusOK {
+		t.Fatalf("codes %d, %d", rec1.Code, rec2.Code)
+	}
+	if rec1.Header().Get("X-Cache") != "miss" || rec2.Header().Get("X-Cache") != "hit" {
+		t.Errorf("X-Cache %q, %q; want miss, hit", rec1.Header().Get("X-Cache"), rec2.Header().Get("X-Cache"))
+	}
+	if rec1.Body.String() != rec2.Body.String() {
+		t.Error("cache hit body differs from original")
+	}
+}
+
+// TestCacheEviction bounds the LRU at one entry and confirms the eviction
+// counter moves and evicted keys recompute.
+func TestCacheEviction(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.CacheSize = 1 })
+	h := srv.Handler()
+	doReq(t, h, "POST", "/query", queryRequest{Subject: "e1", Relation: "r0", K: 3})
+	doReq(t, h, "POST", "/query", queryRequest{Subject: "e2", Relation: "r1", K: 3}) // evicts the first
+	_, _, evictions, _, _ := srv.metrics.snapshotCounters()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	rec, _ := doReq(t, h, "POST", "/query", queryRequest{Subject: "e1", Relation: "r0", K: 3})
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("evicted key served as %q, want miss", got)
+	}
+	if srv.cache.Len() != 1 {
+		t.Errorf("cache len %d, want 1", srv.cache.Len())
+	}
+}
+
+// TestCacheDisabled verifies a negative CacheSize turns caching off without
+// breaking the endpoints.
+func TestCacheDisabled(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.CacheSize = -1 })
+	h := srv.Handler()
+	for i := 0; i < 2; i++ {
+		rec, _ := doReq(t, h, "POST", "/query", queryRequest{Subject: "e1", Relation: "r0", K: 3})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %d: %d", i, rec.Code)
+		}
+		if got := rec.Header().Get("X-Cache"); got != "miss" {
+			t.Errorf("request %d X-Cache %q, want miss with caching disabled", i, got)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (in seconds) of the request-duration
+// histogram. They straddle the two regimes the server actually sees:
+// sub-millisecond cache hits and multi-second cold discovery sweeps.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// routeStats accumulates per-route request counters. All fields are guarded
+// by the owning metrics mutex.
+type routeStats struct {
+	codes    map[int]uint64
+	buckets  []uint64 // parallel to latencyBuckets; observations ≤ bound
+	count    uint64
+	sum      float64 // total seconds observed
+	inFlight int64
+}
+
+// metrics aggregates server-wide counters and renders them in the Prometheus
+// text exposition format. It is a deliberate stdlib-only stand-in for a
+// metrics client library: a single mutex is ample for the counter update
+// rates an HTTP handler sees, and the scrape path is read-only.
+type metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+
+	cacheHits      uint64
+	cacheMisses    uint64
+	cacheEvictions uint64
+	dedups         uint64 // requests served by another request's in-flight run
+	rejected       uint64 // /discover requests refused with 429 (semaphore full)
+	panics         uint64 // handler panics converted to 500 by the recovery middleware
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeStats)}
+}
+
+// routeLocked returns the stats bucket for route, creating it on first use.
+// The caller must hold m.mu.
+func (m *metrics) routeLocked(route string) *routeStats {
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{codes: make(map[int]uint64), buckets: make([]uint64, len(latencyBuckets))}
+		m.routes[route] = rs
+	}
+	return rs
+}
+
+func (m *metrics) startRequest(route string) {
+	m.mu.Lock()
+	m.routeLocked(route).inFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) endRequest(route string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	rs := m.routeLocked(route)
+	rs.inFlight--
+	rs.codes[code]++
+	rs.count++
+	rs.sum += secs
+	for i, bound := range latencyBuckets {
+		if secs <= bound {
+			rs.buckets[i]++
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) add(field *uint64, n uint64) {
+	m.mu.Lock()
+	*field += n
+	m.mu.Unlock()
+}
+
+func (m *metrics) incCacheHit()  { m.add(&m.cacheHits, 1) }
+func (m *metrics) incCacheMiss() { m.add(&m.cacheMisses, 1) }
+func (m *metrics) incEviction()  { m.add(&m.cacheEvictions, 1) }
+func (m *metrics) incDedup()     { m.add(&m.dedups, 1) }
+func (m *metrics) incRejected()  { m.add(&m.rejected, 1) }
+func (m *metrics) incPanic()     { m.add(&m.panics, 1) }
+
+// snapshotCounters returns the cache/flight counters for tests.
+func (m *metrics) snapshotCounters() (hits, misses, evictions, dedups, rejected uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits, m.cacheMisses, m.cacheEvictions, m.dedups, m.rejected
+}
+
+// writeTo renders every metric in Prometheus text format (version 0.0.4)
+// with deterministic ordering, so scrapes — and test assertions — are
+// stable across runs.
+func (m *metrics) writeTo(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	routes := make([]string, 0, len(m.routes))
+	for r := range m.routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintln(w, "# HELP kgserve_requests_total Requests served, by route and status code.")
+	fmt.Fprintln(w, "# TYPE kgserve_requests_total counter")
+	for _, r := range routes {
+		rs := m.routes[r]
+		codes := make([]int, 0, len(rs.codes))
+		for c := range rs.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "kgserve_requests_total{route=%q,code=\"%d\"} %d\n", r, c, rs.codes[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP kgserve_request_duration_seconds Request latency histogram, by route.")
+	fmt.Fprintln(w, "# TYPE kgserve_request_duration_seconds histogram")
+	for _, r := range routes {
+		rs := m.routes[r]
+		for i, bound := range latencyBuckets {
+			fmt.Fprintf(w, "kgserve_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, bound, rs.buckets[i])
+		}
+		fmt.Fprintf(w, "kgserve_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, rs.count)
+		fmt.Fprintf(w, "kgserve_request_duration_seconds_sum{route=%q} %g\n", r, rs.sum)
+		fmt.Fprintf(w, "kgserve_request_duration_seconds_count{route=%q} %d\n", r, rs.count)
+	}
+
+	fmt.Fprintln(w, "# HELP kgserve_in_flight Requests currently being served, by route.")
+	fmt.Fprintln(w, "# TYPE kgserve_in_flight gauge")
+	for _, r := range routes {
+		fmt.Fprintf(w, "kgserve_in_flight{route=%q} %d\n", r, m.routes[r].inFlight)
+	}
+
+	scalar := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	scalar("kgserve_cache_hits_total", "Responses served from the LRU cache.", m.cacheHits)
+	scalar("kgserve_cache_misses_total", "Cacheable requests not found in the LRU cache.", m.cacheMisses)
+	scalar("kgserve_cache_evictions_total", "Entries evicted from the LRU cache.", m.cacheEvictions)
+	scalar("kgserve_singleflight_dedup_total", "Requests coalesced onto another request's in-flight execution.", m.dedups)
+	scalar("kgserve_discover_rejected_total", "Discover requests refused with 429 because the concurrency limit was reached.", m.rejected)
+	scalar("kgserve_panics_total", "Handler panics recovered and converted to 500 responses.", m.panics)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeTo(w)
+}

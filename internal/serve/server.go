@@ -1,0 +1,234 @@
+// Package serve implements the production HTTP serving layer over a trained
+// KGE model and its knowledge graph: triple scoring (with calibrated
+// probabilities), rank queries, link-prediction style object queries, and
+// on-demand fact discovery.
+//
+// Beyond the handlers it provides the operational machinery a public
+// endpoint needs: server-level read/header/write timeouts and graceful
+// drain on shutdown, per-route panic recovery, request-body size limits,
+// structured access logging, per-request context deadlines, a semaphore
+// bounding concurrent discovery sweeps (overload → 429 + Retry-After), an
+// LRU response cache keyed by the model's canonical weight fingerprint plus
+// the canonicalized request (a KGE model is a deterministic function of its
+// weights, so identical requests against identical weights have identical
+// answers), single-flight deduplication so N concurrent identical requests
+// trigger exactly one discovery run, and a stdlib-only Prometheus-text
+// /metrics endpoint.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/kg"
+	"repro/internal/kge"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// Addr is the listen address for ListenAndServe. Default ":8080".
+	Addr string
+	// MaxDiscover bounds concurrent DiscoverFacts executions. Discovery
+	// parallelizes internally across GOMAXPROCS workers, so a small number
+	// of concurrent sweeps saturates the machine; excess requests are
+	// refused with 429 + Retry-After. Default 4.
+	MaxDiscover int
+	// CacheSize is the LRU response-cache capacity in entries shared by
+	// /discover and /query. Zero means the default 256; negative disables
+	// caching.
+	CacheSize int
+	// RequestTimeout is the per-request context deadline; a /discover sweep
+	// that exceeds it returns a 503 JSON error (never partial facts).
+	// Default 2 minutes.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request-body size; larger bodies get 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+	// ShutdownTimeout bounds the graceful drain of in-flight requests once
+	// the serve context is cancelled. Default 10 seconds.
+	ShutdownTimeout time.Duration
+	// Logger receives access logs, panics, and lifecycle messages.
+	// Default log.Default().
+	Logger *log.Logger
+}
+
+func (c *Config) setDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxDiscover == 0 {
+		c.MaxDiscover = 4
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.ShutdownTimeout == 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
+// discoverFunc matches core.DiscoverFacts; tests substitute instrumented
+// implementations to count executions and control timing.
+type discoverFunc func(ctx context.Context, model kge.Model, g *kg.Graph, strategy core.Strategy, opts core.Options) (*core.Result, error)
+
+// Server bundles the loaded artifacts, their derived helpers, and the
+// serving machinery (cache, single-flight group, discovery semaphore,
+// metrics).
+type Server struct {
+	ds          *kg.Dataset
+	model       kge.Trainable
+	ranker      *eval.Ranker
+	calibrator  *eval.PlattCalibrator // nil when no validation split exists
+	fingerprint string                // kge.Fingerprint of the loaded weights
+
+	cfg         Config
+	cache       *lruCache
+	flight      *flightGroup
+	metrics     *metrics
+	discoverSem chan struct{}
+	discover    discoverFunc
+}
+
+// New builds a Server over already-loaded artifacts. The model must cover
+// every entity of the dataset.
+func New(ds *kg.Dataset, model kge.Trainable, cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	if model.NumEntities() < ds.Train.Entities.Len() {
+		return nil, fmt.Errorf("serve: model covers %d entities, dataset has %d", model.NumEntities(), ds.Train.Entities.Len())
+	}
+	s := &Server{
+		ds:          ds,
+		model:       model,
+		ranker:      eval.NewRanker(model, ds.All()),
+		fingerprint: kge.Fingerprint(model),
+		cfg:         cfg,
+		flight:      newFlightGroup(),
+		metrics:     newMetrics(),
+		discoverSem: make(chan struct{}, cfg.MaxDiscover),
+		discover:    core.DiscoverFacts,
+	}
+	s.cache = newLRUCache(cfg.CacheSize, s.metrics.incEviction)
+	if ds.Valid.Len() > 0 {
+		cal, err := eval.FitPlatt(model, ds.Valid, ds.All(), eval.CalibrationOptions{Seed: 1})
+		if err == nil {
+			s.calibrator = cal
+		}
+	}
+	return s, nil
+}
+
+// Load reads a dataset directory and a model checkpoint from disk and
+// builds a Server over them.
+func Load(dataDir, modelPath string, cfg Config) (*Server, error) {
+	ds, err := kg.LoadDataset(dataDir, dataDir)
+	if err != nil {
+		return nil, err
+	}
+	m, err := kge.LoadFile(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	return New(ds, m, cfg)
+}
+
+// Fingerprint returns the canonical weight digest the response cache is
+// keyed by.
+func (s *Server) Fingerprint() string { return s.fingerprint }
+
+// Model returns the served model.
+func (s *Server) Model() kge.Trainable { return s.model }
+
+// Dataset returns the served dataset.
+func (s *Server) Dataset() *kg.Dataset { return s.ds }
+
+// Handler returns the full route table with per-route middleware applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.wrap("/healthz", s.handleHealthz))
+	mux.Handle("GET /stats", s.wrap("/stats", s.handleStats))
+	mux.Handle("GET /metrics", s.wrap("/metrics", s.handleMetrics))
+	mux.Handle("POST /score", s.wrap("/score", s.handleScore))
+	mux.Handle("POST /rank", s.wrap("/rank", s.handleRank))
+	mux.Handle("POST /query", s.wrap("/query", s.handleQuery))
+	mux.Handle("POST /discover", s.wrap("/discover", s.handleDiscover))
+	return mux
+}
+
+// ListenAndServe listens on cfg.Addr and serves until ctx is cancelled,
+// then drains gracefully. The bound address (useful with ":0") is logged as
+// "listening on <addr>".
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves on ln until ctx is cancelled, then shuts down gracefully:
+// in-flight requests are drained (bounded by cfg.ShutdownTimeout) while new
+// connections are refused. Returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// WriteTimeout must outlast the request deadline or slow discovery
+		// responses would be cut off mid-body.
+		WriteTimeout: s.cfg.RequestTimeout + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
+		ErrorLog:     s.cfg.Logger,
+	}
+	s.cfg.Logger.Printf("kgserve: listening on %s", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+		defer cancel()
+		err := hs.Shutdown(sctx)
+		<-errc // hs.Serve has returned http.ErrServerClosed
+		if err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		s.cfg.Logger.Printf("kgserve: drained, shutdown complete")
+		return nil
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONBody replays pre-rendered response bytes (cache hits and
+// single-flight results), so every path serves byte-identical bodies.
+func writeJSONBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: vet, build, race-checked tests, and a training-determinism smoke
-# test. The discovery ranking stage runs a concurrent group scheduler
+# CI gate: vet, build, race-checked tests, a serving-layer race +
+# decoder-fuzz gate, a training-determinism smoke test, and a kgserve
+# end-to-end smoke. The discovery ranking stage runs a concurrent group scheduler
 # (internal/core.rankAll) and the evaluation protocol a grouped worker pool
 # (internal/eval.Evaluate), so the race detector is mandatory, not optional,
 # on every PR. The determinism gate trains the same tiny dataset at two
@@ -18,6 +19,15 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== serving-layer race gate =="
+# The serving layer multiplexes one model across request goroutines, a
+# single-flight group, and a discovery semaphore; its suite (and the
+# kgserve wiring tests) must pass under the race detector on every PR.
+go test -race ./internal/serve/... ./cmd/kgserve/...
+
+echo "== request-decoder fuzz smoke =="
+go test -run '^$' -fuzz '^FuzzDecodeRequest$' -fuzztime 10s ./internal/serve
 
 echo "== determinism smoke =="
 tmp="$(mktemp -d)"
@@ -48,5 +58,48 @@ for obj in negsample kvsall; do
   fi
   echo "$obj: workers-invariant checkpoint sha256 $d1"
 done
+
+echo "== kgserve end-to-end smoke =="
+# Boot the real server binary on a random port over a tiny dataset, check
+# health, discover the same facts twice (the second answer must come from
+# the response cache, observable via /metrics), then SIGTERM and require a
+# clean graceful exit.
+go build -o "$tmp/kgserve" ./cmd/kgserve
+"$tmp/kgserve" -data "$tmp/data" -model "$tmp/negsample-w1.kge" \
+  -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+serve_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$tmp/serve.log" | head -n 1)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "kgserve smoke FAILED: server never reported its address" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+curl -fsS "http://$addr/healthz" >/dev/null
+discover_body='{"strategy":"graph_degree","top_n":20,"max_candidates":30,"limit":5,"seed":3}'
+curl -fsS -X POST -d "$discover_body" "http://$addr/discover" >"$tmp/d1.json"
+curl -fsS -X POST -d "$discover_body" "http://$addr/discover" >"$tmp/d2.json"
+if ! cmp -s "$tmp/d1.json" "$tmp/d2.json"; then
+  echo "kgserve smoke FAILED: cached /discover body differs from the original" >&2
+  exit 1
+fi
+hits="$(curl -fsS "http://$addr/metrics" | sed -n 's/^kgserve_cache_hits_total \([0-9][0-9]*\)$/\1/p')"
+if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
+  echo "kgserve smoke FAILED: /metrics cache-hit counter did not increment (hits='$hits')" >&2
+  exit 1
+fi
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+  echo "kgserve smoke FAILED: server did not exit cleanly on SIGTERM" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+echo "kgserve smoke: cache hits $hits, clean SIGTERM shutdown"
 
 echo "CI OK"
