@@ -16,6 +16,17 @@
 //	POST /query     {"subject":"e1","relation":"r0","k":10}
 //	POST /discover  {"strategy":"cluster_triangles","top_n":50,
 //	                 "max_candidates":100,"relations":["r0"],"limit":25}
+//
+// Sweeps too long to hold an HTTP request open run asynchronously:
+//
+//	POST   /jobs             same body as /discover → 202 + job id
+//	GET    /jobs             status of every retained job
+//	GET    /jobs/{id}        one job's status and per-relation progress
+//	GET    /jobs/{id}/result the discovered facts once state is "done"
+//	DELETE /jobs/{id}        cancel a queued or running job
+//
+// With -job-dir each async job journals completed relations to a WAL there,
+// so resubmitting after a crash resumes instead of restarting.
 package main
 
 import (
@@ -52,11 +63,20 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	requestTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request deadline (slow /discover returns 503)")
 	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes (larger bodies get 413)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
+	jobWorkers := fs.Int("job-workers", 2, "worker pool size for async /jobs discovery")
+	maxJobs := fs.Int("max-jobs", 64, "finished async jobs retained before the oldest are evicted")
+	jobTTL := fs.Duration("job-ttl", time.Hour, "finished async jobs older than this are evicted")
+	jobDir := fs.String("job-dir", "", "journal async jobs to WALs under this directory (empty = in-memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dataDir == "" || *modelPath == "" {
 		return fmt.Errorf("-data and -model are required")
+	}
+	if *jobDir != "" {
+		if err := os.MkdirAll(*jobDir, 0o755); err != nil {
+			return err
+		}
 	}
 
 	logger := log.New(stderr, "", log.LstdFlags)
@@ -67,6 +87,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		RequestTimeout:  *requestTimeout,
 		MaxBodyBytes:    *maxBody,
 		ShutdownTimeout: *shutdownTimeout,
+		JobWorkers:      *jobWorkers,
+		MaxJobs:         *maxJobs,
+		JobTTL:          *jobTTL,
+		JobDir:          *jobDir,
 		Logger:          logger,
 	})
 	if err != nil {

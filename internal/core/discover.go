@@ -52,6 +52,14 @@ type Options struct {
 	// the paper's evaluated rank-only behaviour.
 	Calibrator     func(score float32) float64
 	MinProbability float64
+	// OnRelationDone, when non-nil, is invoked synchronously after each
+	// relation's sweep completes (including relations that produced no
+	// candidates), from the relation loop's goroutine. The durable-job
+	// subsystem (internal/jobs) journals each relation through it and
+	// kgdiscover prints progress lines from it. The RelationDone.Facts slice
+	// aliases internal buffers and is only valid during the callback; copy
+	// it if it must outlive the call.
+	OnRelationDone func(RelationDone)
 }
 
 func (o *Options) setDefaults() {
@@ -102,6 +110,34 @@ type Stats struct {
 	// GroupedCandidates − ScoreSweeps is the number of |E|·d sweeps the
 	// grouping saved; the ablation harness reports it as sweeps-saved.
 	GroupedCandidates int
+	// PerRelation records each swept relation's timings and counters in
+	// sweep order. It is what the durable-job journal persists per relation
+	// and what progress reporting renders.
+	PerRelation []RelationStats
+}
+
+// RelationStats is the per-relation slice of Stats: one relation's share of
+// the weight/generate/rank time plus its candidate and fact counts.
+type RelationStats struct {
+	Relation     kg.RelationID
+	WeightTime   time.Duration
+	GenerateTime time.Duration
+	RankTime     time.Duration
+	Generated    int
+	Iterations   int
+	ScoreSweeps  int
+	Facts        int
+}
+
+// RelationDone is the payload of Options.OnRelationDone: one completed
+// relation's discovered facts (already rank-filtered, in generation order)
+// and its stats. Index/Total locate the relation within the sweep.
+type RelationDone struct {
+	Relation kg.RelationID
+	Index    int // 0-based position in the swept relation list
+	Total    int // number of relations in this sweep
+	Facts    []Fact
+	Stats    RelationStats
 }
 
 // FactsPerHour returns the discovery efficiency measure from §3.3:
@@ -176,63 +212,101 @@ func DiscoverFacts(ctx context.Context, model kge.Model, g *kg.Graph, strategy S
 		ranker = eval.NewRanker(model, nil)
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	for _, r := range relations {
+	for ri, r := range relations {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		res.Stats.Relations++
+		factStart := len(res.Facts)
+		rel := RelationStats{Relation: r}
 
 		wStart := time.Now()
 		subs, sw, objs, ow := strategy.Weights(r)
-		res.Stats.WeightTime += time.Since(wStart)
-		if len(subs) == 0 || len(objs) == 0 {
-			continue
-		}
+		rel.WeightTime = time.Since(wStart)
 
-		gStart := time.Now()
-		candidates, iters := generateCandidates(g, opts, r, subs, sw, objs, ow, sampleSize, rng)
-		res.Stats.GenerateTime += time.Since(gStart)
-		res.Stats.Iterations += iters
-		res.Stats.Generated += len(candidates)
-		if len(candidates) == 0 {
-			continue
-		}
+		if len(subs) > 0 && len(objs) > 0 {
+			// Each relation draws from its own RNG stream, seeded by
+			// (Seed, r): a relation's candidates do not depend on which other
+			// relations the sweep covers or in what order, so a run split
+			// across several Relations subsets (the durable-job resume path)
+			// generates exactly the candidates of one uninterrupted run.
+			rng := rand.New(rand.NewSource(relationSeed(opts.Seed, r)))
 
-		rStart := time.Now()
-		ranks, sweeps, err := rankAll(ctx, ranker, candidates, opts.Workers)
-		res.Stats.RankTime += time.Since(rStart)
-		if err != nil {
-			return nil, err
-		}
-		res.Stats.ScoreSweeps += sweeps
-		res.Stats.GroupedCandidates += len(candidates)
+			gStart := time.Now()
+			candidates, iters := generateCandidates(g, opts, r, subs, sw, objs, ow, sampleSize, rng)
+			rel.GenerateTime = time.Since(gStart)
+			rel.Iterations = iters
+			rel.Generated = len(candidates)
 
-		// Line 15: keep candidates within the quality threshold — and, when
-		// a calibrator is configured, within Definition 2.1's probability
-		// threshold P(t) > b as well.
-		for i, t := range candidates {
-			if ranks[i] > opts.TopN {
-				continue
-			}
-			if opts.Calibrator != nil && opts.MinProbability > 0 {
-				if opts.Calibrator(model.Score(t)) <= opts.MinProbability {
-					continue
+			if len(candidates) > 0 {
+				rStart := time.Now()
+				ranks, sweeps, err := rankAll(ctx, ranker, candidates, opts.Workers)
+				rel.RankTime = time.Since(rStart)
+				if err != nil {
+					return nil, err
+				}
+				rel.ScoreSweeps = sweeps
+				res.Stats.GroupedCandidates += len(candidates)
+
+				// Line 15: keep candidates within the quality threshold —
+				// and, when a calibrator is configured, within Definition
+				// 2.1's probability threshold P(t) > b as well.
+				for i, t := range candidates {
+					if ranks[i] > opts.TopN {
+						continue
+					}
+					if opts.Calibrator != nil && opts.MinProbability > 0 {
+						if opts.Calibrator(model.Score(t)) <= opts.MinProbability {
+							continue
+						}
+					}
+					res.Facts = append(res.Facts, Fact{Triple: t, Rank: ranks[i]})
 				}
 			}
-			res.Facts = append(res.Facts, Fact{Triple: t, Rank: ranks[i]})
+		}
+
+		rel.Facts = len(res.Facts) - factStart
+		res.Stats.WeightTime += rel.WeightTime
+		res.Stats.GenerateTime += rel.GenerateTime
+		res.Stats.RankTime += rel.RankTime
+		res.Stats.Iterations += rel.Iterations
+		res.Stats.Generated += rel.Generated
+		res.Stats.ScoreSweeps += rel.ScoreSweeps
+		res.Stats.PerRelation = append(res.Stats.PerRelation, rel)
+		if opts.OnRelationDone != nil {
+			opts.OnRelationDone(RelationDone{
+				Relation: r,
+				Index:    ri,
+				Total:    len(relations),
+				Facts:    res.Facts[factStart:],
+				Stats:    rel,
+			})
 		}
 	}
 
-	sortFactsByRank(res.Facts)
+	SortFactsByRank(res.Facts)
 	res.Stats.Total = time.Since(start)
 	return res, nil
 }
 
-// sortFactsByRank orders facts best-rank-first, breaking ties by triple for
-// deterministic output.
-func sortFactsByRank(facts []Fact) {
+// relationSeed derives the RNG seed for one relation's generation loop from
+// the run seed, mixing both through splitmix64 so nearby (seed, relation)
+// pairs land on unrelated streams.
+func relationSeed(seed int64, r kg.RelationID) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(uint32(r)) + 1
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// SortFactsByRank orders facts best-rank-first, breaking ties by triple for
+// deterministic output. It is the canonical output order of DiscoverFacts;
+// internal/jobs re-sorts merged (journaled + freshly swept) facts with it so
+// a resumed run renders byte-identically to an uninterrupted one.
+func SortFactsByRank(facts []Fact) {
 	sort.Slice(facts, func(i, j int) bool {
 		if facts[i].Rank != facts[j].Rank {
 			return facts[i].Rank < facts[j].Rank

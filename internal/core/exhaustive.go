@@ -255,7 +255,7 @@ func ExhaustiveDiscover(ctx context.Context, model kge.Model, g *kg.Graph, opts 
 		}
 	}
 
-	sortFactsByRank(res.Facts)
+	SortFactsByRank(res.Facts)
 	stats.Total = time.Since(start)
 	res.Stats = Stats{
 		Total:             stats.Total,

@@ -1,0 +1,262 @@
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kg"
+	"repro/internal/kge"
+)
+
+// discoverFunc matches core.DiscoverFacts; tests substitute instrumented
+// implementations to control timing and count concurrency.
+type discoverFunc func(ctx context.Context, model kge.Model, g *kg.Graph, strategy core.Strategy, opts core.Options) (*core.Result, error)
+
+// Spec describes one discovery job: the artifacts, the algorithm options,
+// and (optionally) a journal to checkpoint into.
+type Spec struct {
+	Model    kge.Model
+	Graph    *kg.Graph
+	Strategy core.Strategy
+	Options  core.Options
+	// Fingerprint is the model's canonical weight digest (kge.Fingerprint).
+	// Required when Journal is set: it is what pins a checkpoint to its
+	// weights. Leave empty for journal-less jobs.
+	Fingerprint string
+	// Journal is the WAL path; empty runs the job without checkpointing.
+	Journal string
+	// Resume permits continuing an existing journal at Journal. Without it
+	// an existing file is an error (ErrCheckpointExists), so a typo'd path
+	// cannot silently graft one run onto another.
+	Resume bool
+	// Label is a free-form description carried into status listings.
+	Label string
+	// OnProgress, when non-nil, is called after each relation completes
+	// (journaled relations recovered during resume do not replay it).
+	OnProgress func(Progress)
+}
+
+// Progress is one per-relation progress tick.
+type Progress struct {
+	Relation  kg.RelationID
+	Done      int // relations complete so far, including recovered ones
+	Total     int
+	Facts     int // facts this relation kept
+	FactsSum  int // facts across the whole job so far
+	SweepTime time.Duration
+}
+
+// RunInfo reports how a Run executed.
+type RunInfo struct {
+	// TotalRelations is the size of the job's relation list.
+	TotalRelations int
+	// Resumed counts relations recovered from the journal instead of swept.
+	Resumed int
+}
+
+// OptionsHash canonicalizes the inputs that determine a discovery run's
+// output — strategy name, thresholds, the (sorted) relation list, protocol
+// flags, seed, and the shapes of the graph and filter — and returns the
+// SHA-256 hex digest of their canonical JSON. Options.Workers is excluded
+// deliberately: worker count never changes output. The calibrator function
+// itself cannot be hashed; its presence and threshold are pinned, which is
+// the best a checkpoint can check (documented in DESIGN.md §8).
+func OptionsHash(strategyName string, g *kg.Graph, opts core.Options, relations []kg.RelationID) string {
+	rels := append([]kg.RelationID(nil), relations...)
+	sort.Slice(rels, func(i, j int) bool { return rels[i] < rels[j] })
+	filterLen := 0
+	if opts.Filter != nil {
+		filterLen = opts.Filter.Len()
+	}
+	canonical := struct {
+		Strategy       string          `json:"strategy"`
+		TopN           int             `json:"top_n"`
+		MaxCandidates  int             `json:"max_candidates"`
+		MaxIterations  int             `json:"max_iterations"`
+		Relations      []kg.RelationID `json:"relations"`
+		RankFiltered   bool            `json:"rank_filtered"`
+		Seed           int64           `json:"seed"`
+		CacheWeights   bool            `json:"cache_weights"`
+		HasCalibrator  bool            `json:"has_calibrator"`
+		MinProbability float64         `json:"min_probability"`
+		FilterLen      int             `json:"filter_len"`
+		GraphTriples   int             `json:"graph_triples"`
+		GraphEntities  int             `json:"graph_entities"`
+		GraphRelations int             `json:"graph_relations"`
+	}{
+		Strategy:       strategyName,
+		TopN:           opts.TopN,
+		MaxCandidates:  opts.MaxCandidates,
+		MaxIterations:  opts.MaxIterations,
+		Relations:      rels,
+		RankFiltered:   opts.RankFiltered,
+		Seed:           opts.Seed,
+		CacheWeights:   opts.CacheWeights,
+		HasCalibrator:  opts.Calibrator != nil,
+		MinProbability: opts.MinProbability,
+		FilterLen:      filterLen,
+		GraphTriples:   g.Len(),
+		GraphEntities:  g.NumEntities(),
+		GraphRelations: g.NumRelations(),
+	}
+	b, _ := json.Marshal(canonical)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Run executes one discovery job, journaling per-relation checkpoints when
+// spec.Journal is set and resuming from them when spec.Resume permits it.
+// The merged result is byte-identical (facts and ranks, in the canonical
+// core.SortFactsByRank order) to an uninterrupted core.DiscoverFacts run
+// with the same inputs: core seeds each relation's RNG stream independently,
+// so already-journaled relations are simply skipped and their recorded facts
+// spliced back in.
+func Run(ctx context.Context, spec Spec) (*core.Result, RunInfo, error) {
+	return run(ctx, spec, core.DiscoverFacts)
+}
+
+// normalize applies the same defaulting core.DiscoverFacts would, so the
+// options hash is identical whether the caller spelled defaults explicitly
+// or left them zero.
+func normalize(o core.Options) core.Options {
+	if o.TopN == 0 {
+		o.TopN = 500
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 500
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 5
+	}
+	return o
+}
+
+func run(ctx context.Context, spec Spec, discover discoverFunc) (*core.Result, RunInfo, error) {
+	opts := normalize(spec.Options)
+	relations := opts.Relations
+	if relations == nil {
+		relations = spec.Graph.RelationIDs()
+	}
+	info := RunInfo{TotalRelations: len(relations)}
+
+	var (
+		journal   *Journal
+		recovered []RelationRecord
+	)
+	if spec.Journal != "" {
+		if spec.Fingerprint == "" {
+			return nil, info, fmt.Errorf("jobs: journaled runs require the model fingerprint")
+		}
+		hdr := Header{
+			Fingerprint:    spec.Fingerprint,
+			OptionsHash:    OptionsHash(spec.Strategy.Name(), spec.Graph, opts, relations),
+			Strategy:       spec.Strategy.Name(),
+			TotalRelations: len(relations),
+		}
+		var err error
+		if spec.Resume {
+			journal, recovered, err = Recover(spec.Journal, hdr)
+		} else {
+			journal, err = Create(spec.Journal, hdr)
+		}
+		if err != nil {
+			return nil, info, err
+		}
+		defer journal.Close()
+	}
+
+	// Splice out the relations the journal already covers. Records for
+	// relations outside the job's list cannot occur: the options hash pins
+	// the relation list, so such a journal is rejected at Recover.
+	inJob := make(map[kg.RelationID]bool, len(relations))
+	for _, r := range relations {
+		inJob[r] = true
+	}
+	done := make(map[kg.RelationID]bool, len(recovered))
+	for _, rec := range recovered {
+		if inJob[rec.Relation] {
+			done[rec.Relation] = true
+		}
+	}
+	remaining := make([]kg.RelationID, 0, len(relations))
+	for _, r := range relations {
+		if !done[r] {
+			remaining = append(remaining, r)
+		}
+	}
+	info.Resumed = len(relations) - len(remaining)
+
+	start := time.Now()
+	res := &core.Result{}
+	factsSum := 0
+	for _, rec := range recovered {
+		if !inJob[rec.Relation] {
+			continue
+		}
+		st := relationStatsOf(rec)
+		res.Stats.Relations++
+		res.Stats.WeightTime += st.WeightTime
+		res.Stats.GenerateTime += st.GenerateTime
+		res.Stats.RankTime += st.RankTime
+		res.Stats.Generated += st.Generated
+		res.Stats.Iterations += st.Iterations
+		res.Stats.ScoreSweeps += st.ScoreSweeps
+		res.Stats.GroupedCandidates += st.Generated
+		res.Stats.PerRelation = append(res.Stats.PerRelation, st)
+		for _, f := range rec.Facts {
+			res.Facts = append(res.Facts, core.Fact{Triple: kg.Triple{S: f.S, R: f.R, O: f.O}, Rank: f.Rank})
+		}
+		factsSum += len(rec.Facts)
+	}
+
+	if len(remaining) > 0 {
+		runOpts := opts
+		runOpts.Relations = remaining
+		doneCount := info.Resumed
+		var hookErr error
+		runOpts.OnRelationDone = func(d core.RelationDone) {
+			if journal != nil && hookErr == nil {
+				hookErr = journal.Append(relationRecordOf(d))
+			}
+			doneCount++
+			factsSum += len(d.Facts)
+			if spec.OnProgress != nil {
+				spec.OnProgress(Progress{
+					Relation:  d.Relation,
+					Done:      doneCount,
+					Total:     len(relations),
+					Facts:     len(d.Facts),
+					FactsSum:  factsSum,
+					SweepTime: d.Stats.WeightTime + d.Stats.GenerateTime + d.Stats.RankTime,
+				})
+			}
+		}
+		swept, err := discover(ctx, spec.Model, spec.Graph, spec.Strategy, runOpts)
+		if err != nil {
+			return nil, info, err
+		}
+		if hookErr != nil {
+			return nil, info, fmt.Errorf("jobs: journal append: %w", hookErr)
+		}
+		res.Facts = append(res.Facts, swept.Facts...)
+		res.Stats.Relations += swept.Stats.Relations
+		res.Stats.WeightTime += swept.Stats.WeightTime
+		res.Stats.GenerateTime += swept.Stats.GenerateTime
+		res.Stats.RankTime += swept.Stats.RankTime
+		res.Stats.Generated += swept.Stats.Generated
+		res.Stats.Iterations += swept.Stats.Iterations
+		res.Stats.ScoreSweeps += swept.Stats.ScoreSweeps
+		res.Stats.GroupedCandidates += swept.Stats.GroupedCandidates
+		res.Stats.PerRelation = append(res.Stats.PerRelation, swept.Stats.PerRelation...)
+	}
+
+	core.SortFactsByRank(res.Facts)
+	res.Stats.Total = time.Since(start)
+	return res, info, nil
+}

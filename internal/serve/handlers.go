@@ -338,23 +338,5 @@ func (s *Server) runDiscover(strategy core.Strategy, relations []kg.RelationID, 
 	if err != nil {
 		return nil, err
 	}
-	limit := req.Limit
-	if limit <= 0 || limit > len(res.Facts) {
-		limit = len(res.Facts)
-	}
-	facts := make([]discoveredFact, 0, limit)
-	for _, f := range res.Facts[:limit] {
-		facts = append(facts, discoveredFact{
-			Subject:  s.ds.Train.Entities.Name(int32(f.Triple.S)),
-			Relation: s.ds.Train.Relations.Name(int32(f.Triple.R)),
-			Object:   s.ds.Train.Entities.Name(int32(f.Triple.O)),
-			Rank:     f.Rank,
-		})
-	}
-	return json.Marshal(map[string]any{
-		"facts":      facts,
-		"total":      len(res.Facts),
-		"mrr":        res.MRR(),
-		"runtime_ms": res.Stats.Total.Milliseconds(),
-	})
+	return s.renderResult(res, req.Limit)
 }

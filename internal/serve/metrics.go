@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/jobs"
 )
 
 // latencyBuckets are the upper bounds (in seconds) of the request-duration
@@ -156,4 +158,31 @@ func (m *metrics) writeTo(w io.Writer) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeTo(w)
+	s.writeJobMetrics(w)
+}
+
+// writeJobMetrics renders the async-job gauges and counters. They come from
+// a live jobs.Manager snapshot rather than the metrics struct: job state is
+// already tracked there and scraping must not invent a second copy that can
+// drift.
+func (s *Server) writeJobMetrics(w io.Writer) {
+	counts, counters := s.jobs.Snapshot()
+	fmt.Fprintln(w, "# HELP kgserve_jobs Retained async discovery jobs, by state.")
+	fmt.Fprintln(w, "# TYPE kgserve_jobs gauge")
+	states := make([]string, 0, len(counts))
+	for st := range counts {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "kgserve_jobs{state=%q} %d\n", st, counts[jobs.State(st)])
+	}
+	scalar := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	scalar("kgserve_jobs_submitted_total", "Async jobs accepted by POST /jobs.", counters.Submitted)
+	scalar("kgserve_jobs_completed_total", "Async jobs that finished successfully.", counters.Completed)
+	scalar("kgserve_jobs_failed_total", "Async jobs that finished with an error.", counters.Failed)
+	scalar("kgserve_jobs_cancelled_total", "Async jobs cancelled before completing.", counters.Cancelled)
+	scalar("kgserve_jobs_evicted_total", "Finished jobs evicted by the retention policy.", counters.Evicted)
 }

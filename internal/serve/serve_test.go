@@ -75,6 +75,7 @@ func newTestServer(t testing.TB, mut func(*Config)) *Server {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
+	t.Cleanup(srv.Close)
 	return srv
 }
 

@@ -14,6 +14,12 @@
 // answers), single-flight deduplication so N concurrent identical requests
 // trigger exactly one discovery run, and a stdlib-only Prometheus-text
 // /metrics endpoint.
+//
+// Discovery sweeps too long for a synchronous request run through the async
+// /jobs API instead (see jobs.go): submissions execute on an internal/jobs
+// worker pool with per-relation progress, cancellation, bounded retention of
+// results, and — when Config.JobDir is set — a per-job write-ahead journal
+// that survives process crashes.
 package serve
 
 import (
@@ -23,10 +29,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/jobs"
 	"repro/internal/kg"
 	"repro/internal/kge"
 )
@@ -55,6 +63,19 @@ type Config struct {
 	// ShutdownTimeout bounds the graceful drain of in-flight requests once
 	// the serve context is cancelled. Default 10 seconds.
 	ShutdownTimeout time.Duration
+	// JobWorkers bounds concurrent async discovery jobs (the /jobs API).
+	// Like MaxDiscover it multiplies against DiscoverFacts's internal
+	// parallelism, so keep it small. Default 2.
+	JobWorkers int
+	// MaxJobs bounds how many finished jobs (and their result memory) the
+	// server retains; the oldest are evicted beyond it. Default 64.
+	MaxJobs int
+	// JobTTL evicts finished jobs older than this. Default 1 hour.
+	JobTTL time.Duration
+	// JobDir, when set, journals every async job to a WAL under it so a
+	// crashed server's completed relations survive into the next process.
+	// Empty keeps jobs in memory only.
+	JobDir string
 	// Logger receives access logs, panics, and lifecycle messages.
 	// Default log.Default().
 	Logger *log.Logger
@@ -104,6 +125,9 @@ type Server struct {
 	metrics     *metrics
 	discoverSem chan struct{}
 	discover    discoverFunc
+	jobs        *jobs.Manager
+	limits      jobLimits
+	closeOnce   sync.Once
 }
 
 // New builds a Server over already-loaded artifacts. The model must cover
@@ -125,6 +149,17 @@ func New(ds *kg.Dataset, model kge.Trainable, cfg Config) (*Server, error) {
 		discover:    core.DiscoverFacts,
 	}
 	s.cache = newLRUCache(cfg.CacheSize, s.metrics.incEviction)
+	// The forwarding closure reads s.discover at call time, so tests that
+	// substitute an instrumented discover function cover async jobs too.
+	s.jobs = jobs.NewManager(jobs.Config{
+		Workers:      cfg.JobWorkers,
+		MaxCompleted: cfg.MaxJobs,
+		TTL:          cfg.JobTTL,
+		Dir:          cfg.JobDir,
+		Discover: func(ctx context.Context, m kge.Model, g *kg.Graph, strategy core.Strategy, opts core.Options) (*core.Result, error) {
+			return s.discover(ctx, m, g, strategy, opts)
+		},
+	})
 	if ds.Valid.Len() > 0 {
 		cal, err := eval.FitPlatt(model, ds.Valid, ds.All(), eval.CalibrationOptions{Seed: 1})
 		if err == nil {
@@ -168,7 +203,20 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /rank", s.wrap("/rank", s.handleRank))
 	mux.Handle("POST /query", s.wrap("/query", s.handleQuery))
 	mux.Handle("POST /discover", s.wrap("/discover", s.handleDiscover))
+	mux.Handle("POST /jobs", s.wrap("/jobs", s.handleJobSubmit))
+	mux.Handle("GET /jobs", s.wrap("/jobs", s.handleJobList))
+	mux.Handle("GET /jobs/{id}", s.wrap("/jobs/{id}", s.handleJobStatus))
+	mux.Handle("GET /jobs/{id}/result", s.wrap("/jobs/{id}/result", s.handleJobResult))
+	mux.Handle("DELETE /jobs/{id}", s.wrap("/jobs/{id}", s.handleJobCancel))
 	return mux
+}
+
+// Close stops the async job machinery: pending and running jobs are
+// cancelled and the worker pool drained. Serve calls it during shutdown;
+// callers that only use Handler (tests, embedding) should call it
+// themselves. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(s.jobs.Close)
 }
 
 // ListenAndServe listens on cfg.Addr and serves until ctx is cancelled,
@@ -207,6 +255,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		defer cancel()
 		err := hs.Shutdown(sctx)
 		<-errc // hs.Serve has returned http.ErrServerClosed
+		// Cancel async jobs only after the HTTP drain: in-flight /jobs
+		// requests observe consistent manager state to the end.
+		s.Close()
 		if err != nil {
 			return fmt.Errorf("serve: shutdown: %w", err)
 		}
