@@ -27,6 +27,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/kg"
 	"repro/internal/kge"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -52,6 +53,9 @@ func run(args []string) error {
 		outTSV     = fs.String("out", "", "also write all facts as TSV to this path")
 		checkpoint = fs.String("checkpoint", "", "journal each completed relation to this WAL path (crash-resumable)")
 		resume     = fs.Bool("resume", false, "continue from an existing -checkpoint journal")
+		batch      = fs.Bool("batch", true, "rank with relation-blocked batched sweeps (output is byte-identical either way)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +66,15 @@ func run(args []string) error {
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "kgdiscover:", perr)
+		}
+	}()
 
 	ds, err := kg.LoadDataset(*dataDir, *dataDir)
 	if err != nil {
@@ -81,11 +94,12 @@ func run(args []string) error {
 		Graph:    ds.Train,
 		Strategy: strategy,
 		Options: core.Options{
-			TopN:          *topN,
-			MaxCandidates: *maxCand,
-			Seed:          *seed,
-			RankFiltered:  *filtered,
-			CacheWeights:  *cacheW,
+			TopN:                  *topN,
+			MaxCandidates:         *maxCand,
+			Seed:                  *seed,
+			RankFiltered:          *filtered,
+			CacheWeights:          *cacheW,
+			DisableBatchedRanking: !*batch,
 		},
 		Journal: *checkpoint,
 		Resume:  *resume,
@@ -118,6 +132,10 @@ func run(args []string) error {
 		st.FactsPerHour(len(res.Facts)))
 	fmt.Printf("ranking: sweeps=%d candidates=%d sweeps-saved=%d (grouped by subject-relation pair)\n",
 		st.ScoreSweeps, st.GroupedCandidates, st.GroupedCandidates-st.ScoreSweeps)
+	if st.BatchedSweeps > 0 {
+		fmt.Printf("batching: blocks=%d rows=%d (%.1f groups per entity-matrix pass)\n",
+			st.BatchedSweeps, st.BatchRows, float64(st.BatchRows)/float64(st.BatchedSweeps))
+	}
 
 	n := len(res.Facts)
 	if *limit > 0 && *limit < n {

@@ -67,6 +67,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	maxJobs := fs.Int("max-jobs", 64, "finished async jobs retained before the oldest are evicted")
 	jobTTL := fs.Duration("job-ttl", time.Hour, "finished async jobs older than this are evicted")
 	jobDir := fs.String("job-dir", "", "journal async jobs to WALs under this directory (empty = in-memory only)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes stacks and heap contents; keep off on untrusted networks)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +93,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		JobTTL:          *jobTTL,
 		JobDir:          *jobDir,
 		Logger:          logger,
+		EnablePprof:     *enablePprof,
 	})
 	if err != nil {
 		return err

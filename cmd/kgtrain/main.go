@@ -14,6 +14,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/kg"
 	"repro/internal/kge"
+	"repro/internal/prof"
 	"repro/internal/train"
 )
 
@@ -27,25 +28,27 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("kgtrain", flag.ContinueOnError)
 	var (
-		dataDir   = fs.String("data", "", "dataset directory (required)")
-		model     = fs.String("model", "transe", "model: transe, distmult, complex, rescal, hole, conve")
-		dim       = fs.Int("dim", 64, "embedding dimension")
-		epochs    = fs.Int("epochs", 50, "training epochs")
-		batch     = fs.Int("batch", 256, "batch size")
-		negs      = fs.Int("negs", 4, "negative samples per positive")
-		lr        = fs.Float64("lr", 0.05, "learning rate")
-		optName   = fs.String("opt", "adam", "optimizer: adam, adagrad, sgd")
-		lossName  = fs.String("loss", "", "loss: margin, logistic (default per model)")
-		l2        = fs.Float64("l2", 0, "L2 regularization on touched rows")
-		bernoulli = fs.Bool("bernoulli", false, "Bernoulli negative sampling (Wang et al. 2014)")
-		kvsall    = fs.Bool("kvsall", false, "KvsAll (1-N) training instead of negative sampling")
-		smoothing = fs.Float64("label_smoothing", 0.1, "KvsAll label smoothing")
-		seed      = fs.Int64("seed", 1, "random seed")
-		workers   = fs.Int("workers", 0, "gradient-computation goroutines (0 = GOMAXPROCS); any value yields bit-identical checkpoints")
-		out       = fs.String("out", "model.kge", "checkpoint output path")
-		patience  = fs.Int("patience", 0, "early-stopping patience in evals (0 = off)")
-		evalEach  = fs.Int("eval_every", 5, "epochs between validation evaluations")
-		quiet     = fs.Bool("quiet", false, "suppress per-epoch progress")
+		dataDir    = fs.String("data", "", "dataset directory (required)")
+		model      = fs.String("model", "transe", "model: transe, distmult, complex, rescal, hole, conve")
+		dim        = fs.Int("dim", 64, "embedding dimension")
+		epochs     = fs.Int("epochs", 50, "training epochs")
+		batch      = fs.Int("batch", 256, "batch size")
+		negs       = fs.Int("negs", 4, "negative samples per positive")
+		lr         = fs.Float64("lr", 0.05, "learning rate")
+		optName    = fs.String("opt", "adam", "optimizer: adam, adagrad, sgd")
+		lossName   = fs.String("loss", "", "loss: margin, logistic (default per model)")
+		l2         = fs.Float64("l2", 0, "L2 regularization on touched rows")
+		bernoulli  = fs.Bool("bernoulli", false, "Bernoulli negative sampling (Wang et al. 2014)")
+		kvsall     = fs.Bool("kvsall", false, "KvsAll (1-N) training instead of negative sampling")
+		smoothing  = fs.Float64("label_smoothing", 0.1, "KvsAll label smoothing")
+		seed       = fs.Int64("seed", 1, "random seed")
+		workers    = fs.Int("workers", 0, "gradient-computation goroutines (0 = GOMAXPROCS); any value yields bit-identical checkpoints")
+		out        = fs.String("out", "model.kge", "checkpoint output path")
+		patience   = fs.Int("patience", 0, "early-stopping patience in evals (0 = off)")
+		evalEach   = fs.Int("eval_every", 5, "epochs between validation evaluations")
+		quiet      = fs.Bool("quiet", false, "suppress per-epoch progress")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +56,15 @@ func run(args []string) error {
 	if *dataDir == "" {
 		return fmt.Errorf("-data is required")
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "kgtrain:", perr)
+		}
+	}()
 
 	ds, err := kg.LoadDataset(*dataDir, *dataDir)
 	if err != nil {

@@ -45,6 +45,18 @@ type Options struct {
 	// relations, departing from Algorithm 1's per-relation recomputation.
 	// Off by default (faithful mode); see the weight-caching ablation.
 	CacheWeights bool
+	// DisableBatchedRanking falls back to the per-group ranking scheduler
+	// (one RankObjects sweep and one full-sweep sort per (s, r) group).
+	// Batching is on by default and produces byte-identical output — the
+	// batched sweep is bit-identical to the per-group sweep and the counting
+	// rank pass counts the same integers as the sort — so the toggle exists
+	// for the ablation harness and for triage, not correctness.
+	DisableBatchedRanking bool
+	// BatchBudgetBytes caps the score-matrix footprint of one relation
+	// block: a block holds at most BatchBudgetBytes/(4·|E|) of a relation's
+	// (s, r) groups, so a worker's batch stays within a fixed memory budget
+	// regardless of vocabulary size. Zero means DefaultBatchBudgetBytes.
+	BatchBudgetBytes int
 	// Calibrator maps raw model scores to probabilities (e.g. a fitted
 	// eval.PlattCalibrator's Prob method). Together with MinProbability it
 	// implements Definition 2.1's original formulation — keep facts with
@@ -75,7 +87,16 @@ func (o *Options) setDefaults() {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.BatchBudgetBytes == 0 {
+		o.BatchBudgetBytes = DefaultBatchBudgetBytes
+	}
 }
+
+// DefaultBatchBudgetBytes is the default score-matrix budget of one relation
+// block (Options.BatchBudgetBytes): 4 MiB ≈ 20 query rows over a 50k-entity
+// vocabulary, enough to amortize the entity-matrix traffic without a block's
+// scores spilling far past the last-level cache share of one worker.
+const DefaultBatchBudgetBytes = 4 << 20
 
 // Fact is one discovered fact with its rank against corruptions.
 type Fact struct {
@@ -110,6 +131,14 @@ type Stats struct {
 	// GroupedCandidates − ScoreSweeps is the number of |E|·d sweeps the
 	// grouping saved; the ablation harness reports it as sweeps-saved.
 	GroupedCandidates int
+	// BatchedSweeps counts relation-blocked batch dispatches: each is one
+	// tiled matrix–matrix sweep (kge.ScoreAllObjectsBatch) covering a block
+	// of a relation's (s, r) groups. Zero when batching is disabled.
+	BatchedSweeps int
+	// BatchRows counts the (s, r) query rows scored through those batches;
+	// BatchRows/BatchedSweeps is the achieved amortization factor (average
+	// rows per entity-matrix pass).
+	BatchRows int
 	// PerRelation records each swept relation's timings and counters in
 	// sweep order. It is what the durable-job journal persists per relation
 	// and what progress reporting renders.
@@ -119,14 +148,16 @@ type Stats struct {
 // RelationStats is the per-relation slice of Stats: one relation's share of
 // the weight/generate/rank time plus its candidate and fact counts.
 type RelationStats struct {
-	Relation     kg.RelationID
-	WeightTime   time.Duration
-	GenerateTime time.Duration
-	RankTime     time.Duration
-	Generated    int
-	Iterations   int
-	ScoreSweeps  int
-	Facts        int
+	Relation      kg.RelationID
+	WeightTime    time.Duration
+	GenerateTime  time.Duration
+	RankTime      time.Duration
+	Generated     int
+	Iterations    int
+	ScoreSweeps   int
+	BatchedSweeps int
+	BatchRows     int
+	Facts         int
 }
 
 // RelationDone is the payload of Options.OnRelationDone: one completed
@@ -240,23 +271,33 @@ func DiscoverFacts(ctx context.Context, model kge.Model, g *kg.Graph, strategy S
 
 			if len(candidates) > 0 {
 				rStart := time.Now()
-				ranks, sweeps, err := rankAll(ctx, ranker, candidates, opts.Workers)
+				ranks, scores, rstats, err := rankAll(ctx, ranker, candidates, model.NumEntities(), opts)
 				rel.RankTime = time.Since(rStart)
 				if err != nil {
 					return nil, err
 				}
-				rel.ScoreSweeps = sweeps
+				rel.ScoreSweeps = rstats.Sweeps
+				rel.BatchedSweeps = rstats.BatchedSweeps
+				rel.BatchRows = rstats.BatchRows
 				res.Stats.GroupedCandidates += len(candidates)
 
 				// Line 15: keep candidates within the quality threshold —
 				// and, when a calibrator is configured, within Definition
-				// 2.1's probability threshold P(t) > b as well.
+				// 2.1's probability threshold P(t) > b as well. The batched
+				// scheduler returns each candidate's sweep score, so the
+				// calibrator reuses it instead of re-scoring per kept fact.
 				for i, t := range candidates {
 					if ranks[i] > opts.TopN {
 						continue
 					}
 					if opts.Calibrator != nil && opts.MinProbability > 0 {
-						if opts.Calibrator(model.Score(t)) <= opts.MinProbability {
+						var sc float32
+						if scores != nil {
+							sc = scores[i]
+						} else {
+							sc = model.Score(t)
+						}
+						if opts.Calibrator(sc) <= opts.MinProbability {
 							continue
 						}
 					}
@@ -272,6 +313,8 @@ func DiscoverFacts(ctx context.Context, model kge.Model, g *kg.Graph, strategy S
 		res.Stats.Iterations += rel.Iterations
 		res.Stats.Generated += rel.Generated
 		res.Stats.ScoreSweeps += rel.ScoreSweeps
+		res.Stats.BatchedSweeps += rel.BatchedSweeps
+		res.Stats.BatchRows += rel.BatchRows
 		res.Stats.PerRelation = append(res.Stats.PerRelation, rel)
 		if opts.OnRelationDone != nil {
 			opts.OnRelationDone(RelationDone{
@@ -371,28 +414,55 @@ func generateCandidates(g *kg.Graph, opts Options, r kg.RelationID,
 }
 
 // objectRanker is the ranking dependency of the discovery schedulers:
-// per-candidate ranking plus the grouped one-sweep-per-(s,r) form.
+// per-candidate ranking, the grouped one-sweep-per-(s,r) form, and the
+// relation-blocked batched form.
 type objectRanker interface {
 	RankObject(kg.Triple) int
 	RankObjects(s kg.EntityID, r kg.RelationID, objects []kg.EntityID) []int
+	RankObjectsBatch(rel kg.RelationID, groups []eval.Group) ([][]int, [][]float32)
 }
 
-// rankAll ranks candidates in parallel, preserving order. Candidates are
-// bucketed by their (s, r) pair and whole groups are dispatched to workers:
-// a mesh grid of k subjects × k objects collapses from k² model sweeps to
-// k, one per group (the returned sweep count). When ctx is cancelled the
-// partially-written ranks are meaningless — rank 0 would pass every TopN
-// filter — so rankAll returns ctx.Err() instead of partial results.
-func rankAll(ctx context.Context, ranker objectRanker, candidates []kg.Triple, workers int) ([]int, int, error) {
+// rankStats is rankAll's instrumentation: Sweeps counts score sweeps (one
+// per distinct (s, r) group, either scheduler); BatchedSweeps counts batch
+// dispatches (one tiled matrix–matrix pass each) and BatchRows the query
+// rows they carried.
+type rankStats struct {
+	Sweeps        int
+	BatchedSweeps int
+	BatchRows     int
+}
+
+// srGroup is one (s, r) candidate group: the candidate indexes sharing that
+// subject-relation pair, in candidate order.
+type srGroup struct {
+	s   kg.EntityID
+	r   kg.RelationID
+	idx []int
+}
+
+// rankBlock is one relation block: up to blockRows (s, r) groups of a single
+// relation, ranked from one shared score matrix.
+type rankBlock struct {
+	rel    kg.RelationID
+	groups []*srGroup
+}
+
+// rankAll ranks candidates in parallel, preserving order, and returns each
+// candidate's rank and sweep score (scores are nil under
+// DisableBatchedRanking). Candidates are bucketed by their (s, r) pair — a
+// mesh grid of k subjects × k objects collapses from k² model sweeps to k —
+// and the groups of each relation are then packed into blocks sized to
+// Options.BatchBudgetBytes, so a whole block is scored by one tiled
+// matrix–matrix sweep (eval.RankObjectsBatch) instead of one MatVec per
+// group. Blocks shrink below the cache budget when needed to keep every
+// worker busy. When ctx is cancelled the partially-written ranks are
+// meaningless — rank 0 would pass every TopN filter — so rankAll returns
+// ctx.Err() instead of partial results.
+func rankAll(ctx context.Context, ranker objectRanker, candidates []kg.Triple, numEntities int, opts Options) ([]int, []float32, rankStats, error) {
 	ranks := make([]int, len(candidates))
 	type srKey struct {
 		s kg.EntityID
 		r kg.RelationID
-	}
-	type srGroup struct {
-		s   kg.EntityID
-		r   kg.RelationID
-		idx []int
 	}
 	byKey := make(map[srKey]int, len(candidates))
 	var groups []*srGroup
@@ -406,13 +476,113 @@ func rankAll(ctx context.Context, ranker objectRanker, candidates []kg.Triple, w
 		}
 		groups[gi].idx = append(groups[gi].idx, i)
 	}
+	stats := rankStats{Sweeps: len(groups)}
 
+	workers := opts.Workers
 	if workers > len(groups) {
 		workers = len(groups)
 	}
 	if workers < 1 {
 		workers = 1
 	}
+
+	if opts.DisableBatchedRanking {
+		if err := rankAllGrouped(ctx, ranker, candidates, groups, ranks, workers); err != nil {
+			return nil, nil, rankStats{}, err
+		}
+		return ranks, nil, stats, nil
+	}
+
+	// Pack each relation's groups (first-appearance order) into blocks. The
+	// row cap is the cache budget, tightened so there are at least as many
+	// blocks as workers: smaller blocks only cost amortization, idle workers
+	// cost wall-clock.
+	budget := opts.BatchBudgetBytes
+	if budget <= 0 {
+		budget = DefaultBatchBudgetBytes
+	}
+	blockRows := budget / (4 * numEntities)
+	if perWorker := (len(groups) + workers - 1) / workers; blockRows > perWorker {
+		blockRows = perWorker
+	}
+	if blockRows < 1 {
+		blockRows = 1
+	}
+	var blocks []rankBlock
+	var relOrder []kg.RelationID
+	relGroups := make(map[kg.RelationID][]*srGroup)
+	for _, g := range groups {
+		if _, ok := relGroups[g.r]; !ok {
+			relOrder = append(relOrder, g.r)
+		}
+		relGroups[g.r] = append(relGroups[g.r], g)
+	}
+	for _, r := range relOrder {
+		gs := relGroups[r]
+		for lo := 0; lo < len(gs); lo += blockRows {
+			hi := lo + blockRows
+			if hi > len(gs) {
+				hi = len(gs)
+			}
+			blocks = append(blocks, rankBlock{rel: r, groups: gs[lo:hi]})
+			stats.BatchedSweeps++
+			stats.BatchRows += hi - lo
+		}
+	}
+
+	scores := make([]float32, len(candidates))
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	blockCh := make(chan rankBlock)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var egroups []eval.Group
+			for b := range blockCh {
+				if ctx.Err() != nil {
+					return
+				}
+				egroups = egroups[:0]
+				for _, g := range b.groups {
+					objects := make([]kg.EntityID, len(g.idx))
+					for j, i := range g.idx {
+						objects[j] = candidates[i].O
+					}
+					egroups = append(egroups, eval.Group{S: g.s, Objects: objects})
+				}
+				rs, ss := ranker.RankObjectsBatch(b.rel, egroups)
+				for gi, g := range b.groups {
+					for j, i := range g.idx {
+						ranks[i] = rs[gi][j]
+						scores[i] = ss[gi][j]
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for _, b := range blocks {
+		select {
+		case blockCh <- b:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(blockCh)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, rankStats{}, err
+	}
+	return ranks, scores, stats, nil
+}
+
+// rankAllGrouped is the pre-batching scheduler: whole (s, r) groups dispatch
+// to workers and each is ranked by its own RankObjects sweep. It is kept as
+// the ablation baseline and the DisableBatchedRanking fallback.
+func rankAllGrouped(ctx context.Context, ranker objectRanker, candidates []kg.Triple, groups []*srGroup, ranks []int, workers int) error {
 	groupCh := make(chan *srGroup)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -445,8 +615,5 @@ feed:
 	}
 	close(groupCh)
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, 0, err
-	}
-	return ranks, len(groups), nil
+	return ctx.Err()
 }

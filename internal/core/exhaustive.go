@@ -214,7 +214,8 @@ func ExhaustiveDiscover(ctx context.Context, model kge.Model, g *kg.Graph, opts 
 	// the whole complement.
 	res := &Result{}
 	candidates := make([]kg.Triple, 0, n)
-	var scoreSweeps, groupedCandidates int
+	var scoreSweeps, groupedCandidates, batchedSweeps, batchRows int
+	rankOpts := Options{Workers: opts.Workers, BatchBudgetBytes: DefaultBatchBudgetBytes}
 	for _, r := range relations {
 		candidates = candidates[:0]
 		for s := int64(0); s < n; s++ {
@@ -241,12 +242,14 @@ func ExhaustiveDiscover(ctx context.Context, model kge.Model, g *kg.Graph, opts 
 		stats.Generated += len(candidates)
 
 		rStart := time.Now()
-		ranks, sweeps, err := rankAll(ctx, ranker, candidates, opts.Workers)
+		ranks, _, rstats, err := rankAll(ctx, ranker, candidates, model.NumEntities(), rankOpts)
 		stats.RankTime += time.Since(rStart)
 		if err != nil {
 			return nil, nil, err
 		}
-		scoreSweeps += sweeps
+		scoreSweeps += rstats.Sweeps
+		batchedSweeps += rstats.BatchedSweeps
+		batchRows += rstats.BatchRows
 		groupedCandidates += len(candidates)
 		for i, t := range candidates {
 			if ranks[i] <= opts.TopN {
@@ -264,6 +267,8 @@ func ExhaustiveDiscover(ctx context.Context, model kge.Model, g *kg.Graph, opts 
 		Relations:         len(relations),
 		ScoreSweeps:       scoreSweeps,
 		GroupedCandidates: groupedCandidates,
+		BatchedSweeps:     batchedSweeps,
+		BatchRows:         batchRows,
 	}
 	return res, stats, nil
 }

@@ -27,7 +27,7 @@ func TestRankAllCancelledReturnsError(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	ranks, _, err := rankAll(ctx, ranker, candidates, 2)
+	ranks, _, _, err := rankAll(ctx, ranker, candidates, m.NumEntities(), Options{Workers: 2})
 	if err == nil {
 		t.Fatal("rankAll on cancelled context returned nil error")
 	}
@@ -60,7 +60,7 @@ func TestRankAllMatchesPerCandidate(t *testing.T) {
 			candidates = append(candidates, kg.Triple{S: s, R: 1, O: o})
 		}
 	}
-	ranks, sweeps, err := rankAll(context.Background(), ranker, candidates, 3)
+	ranks, scores, rstats, err := rankAll(context.Background(), ranker, candidates, m.NumEntities(), Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,8 +68,17 @@ func TestRankAllMatchesPerCandidate(t *testing.T) {
 	for _, c := range candidates {
 		distinct[c.S] = struct{}{}
 	}
-	if sweeps != len(distinct) {
-		t.Errorf("sweeps = %d, want one per distinct (s, r) pair = %d", sweeps, len(distinct))
+	if rstats.Sweeps != len(distinct) {
+		t.Errorf("sweeps = %d, want one per distinct (s, r) pair = %d", rstats.Sweeps, len(distinct))
+	}
+	if rstats.BatchRows != len(distinct) {
+		t.Errorf("batch rows = %d, want every group batched = %d", rstats.BatchRows, len(distinct))
+	}
+	if rstats.BatchedSweeps < 1 || rstats.BatchedSweeps > rstats.BatchRows {
+		t.Errorf("batched sweeps = %d, want in [1, %d]", rstats.BatchedSweeps, rstats.BatchRows)
+	}
+	if len(scores) != len(candidates) {
+		t.Fatalf("scores length %d, want %d", len(scores), len(candidates))
 	}
 	for i, c := range candidates {
 		if want := ranker.RankObject(c); ranks[i] != want {

@@ -30,6 +30,10 @@ type Ranker struct {
 	model  kge.Model
 	filter *kg.Graph
 	pool   sync.Pool
+	// batchPool holds *batchBufs for RankObjectsBatch (see batch.go); its
+	// score matrices are sized per relation block, so it is separate from the
+	// fixed-size sweep pool above.
+	batchPool sync.Pool
 }
 
 // sweepBufs is the per-call working set: the raw score sweep and a sorted

@@ -65,6 +65,12 @@ type StatsRecord struct {
 	Generated   int   `json:"generated"`
 	Iterations  int   `json:"iterations"`
 	ScoreSweeps int   `json:"score_sweeps"`
+	// Batch counters journal as omitempty so records from runs predating
+	// relation-blocked ranking (or with it disabled) stay byte-stable;
+	// decoding an old record yields zeros, which is also what those runs
+	// measured.
+	BatchedSweeps int `json:"batched_sweeps,omitempty"`
+	BatchRows     int `json:"batch_rows,omitempty"`
 }
 
 // RelationRecord marks one relation's sweep complete: the facts it kept and
@@ -281,12 +287,14 @@ func relationRecordOf(d core.RelationDone) RelationRecord {
 	rec := RelationRecord{
 		Relation: d.Relation,
 		Stats: StatsRecord{
-			WeightNS:    int64(d.Stats.WeightTime),
-			GenerateNS:  int64(d.Stats.GenerateTime),
-			RankNS:      int64(d.Stats.RankTime),
-			Generated:   d.Stats.Generated,
-			Iterations:  d.Stats.Iterations,
-			ScoreSweeps: d.Stats.ScoreSweeps,
+			WeightNS:      int64(d.Stats.WeightTime),
+			GenerateNS:    int64(d.Stats.GenerateTime),
+			RankNS:        int64(d.Stats.RankTime),
+			Generated:     d.Stats.Generated,
+			Iterations:    d.Stats.Iterations,
+			ScoreSweeps:   d.Stats.ScoreSweeps,
+			BatchedSweeps: d.Stats.BatchedSweeps,
+			BatchRows:     d.Stats.BatchRows,
 		},
 	}
 	for _, f := range d.Facts {
@@ -298,13 +306,15 @@ func relationRecordOf(d core.RelationDone) RelationRecord {
 // relationStatsOf converts a journaled record back to core.RelationStats.
 func relationStatsOf(rec RelationRecord) core.RelationStats {
 	return core.RelationStats{
-		Relation:     rec.Relation,
-		WeightTime:   time.Duration(rec.Stats.WeightNS),
-		GenerateTime: time.Duration(rec.Stats.GenerateNS),
-		RankTime:     time.Duration(rec.Stats.RankNS),
-		Generated:    rec.Stats.Generated,
-		Iterations:   rec.Stats.Iterations,
-		ScoreSweeps:  rec.Stats.ScoreSweeps,
-		Facts:        len(rec.Facts),
+		Relation:      rec.Relation,
+		WeightTime:    time.Duration(rec.Stats.WeightNS),
+		GenerateTime:  time.Duration(rec.Stats.GenerateNS),
+		RankTime:      time.Duration(rec.Stats.RankNS),
+		Generated:     rec.Stats.Generated,
+		Iterations:    rec.Stats.Iterations,
+		ScoreSweeps:   rec.Stats.ScoreSweeps,
+		BatchedSweeps: rec.Stats.BatchedSweeps,
+		BatchRows:     rec.Stats.BatchRows,
+		Facts:         len(rec.Facts),
 	}
 }

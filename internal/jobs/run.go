@@ -207,6 +207,8 @@ func run(ctx context.Context, spec Spec, discover discoverFunc) (*core.Result, R
 		res.Stats.Generated += st.Generated
 		res.Stats.Iterations += st.Iterations
 		res.Stats.ScoreSweeps += st.ScoreSweeps
+		res.Stats.BatchedSweeps += st.BatchedSweeps
+		res.Stats.BatchRows += st.BatchRows
 		res.Stats.GroupedCandidates += st.Generated
 		res.Stats.PerRelation = append(res.Stats.PerRelation, st)
 		for _, f := range rec.Facts {
@@ -252,6 +254,8 @@ func run(ctx context.Context, spec Spec, discover discoverFunc) (*core.Result, R
 		res.Stats.Generated += swept.Stats.Generated
 		res.Stats.Iterations += swept.Stats.Iterations
 		res.Stats.ScoreSweeps += swept.Stats.ScoreSweeps
+		res.Stats.BatchedSweeps += swept.Stats.BatchedSweeps
+		res.Stats.BatchRows += swept.Stats.BatchRows
 		res.Stats.GroupedCandidates += swept.Stats.GroupedCandidates
 		res.Stats.PerRelation = append(res.Stats.PerRelation, swept.Stats.PerRelation...)
 	}

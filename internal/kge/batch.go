@@ -1,0 +1,157 @@
+package kge
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// BatchScorer is the relation-blocked extension of Model's object sweep:
+// scoring k subjects that share one relation as a single tiled
+// matrix–matrix product (or an equivalently tiled sweep) instead of k
+// independent ScoreAllObjects calls. Every bilinear model builds a k×d
+// query matrix and runs one vecmath.MatMat against the entity table; ConvE
+// runs k hidden-vector forward passes and batches only the output layer.
+//
+// Row j of the output must be bit-identical to
+// ScoreAllObjects(ss[j], r, ...): the batch path is a scheduling change,
+// not a numerical one, which is what keeps discovery output byte-identical
+// whether or not batching is enabled.
+type BatchScorer interface {
+	Model
+	// ScoreAllObjectsBatch writes f((ss[j], r, o')) for every entity o'
+	// into row j of out, which must be len(ss)×NumEntities.
+	ScoreAllObjectsBatch(ss []kg.EntityID, r kg.RelationID, out *vecmath.Matrix)
+}
+
+// ScoreAllObjectsBatch runs the batched object sweep for any model: models
+// implementing BatchScorer use their tiled fast path, everything else falls
+// back to one ScoreAllObjects sweep per subject. The fallback keeps Model
+// implementable without the batch method while letting callers schedule
+// uniformly by relation block.
+func ScoreAllObjectsBatch(m Model, ss []kg.EntityID, r kg.RelationID, out *vecmath.Matrix) {
+	checkBatchBuf(out, len(ss), m.NumEntities())
+	if bs, ok := m.(BatchScorer); ok {
+		bs.ScoreAllObjectsBatch(ss, r, out)
+		return
+	}
+	for j, s := range ss {
+		m.ScoreAllObjects(s, r, out.Row(j))
+	}
+}
+
+func checkBatchBuf(out *vecmath.Matrix, rows, n int) {
+	if out.Rows != rows || out.Cols != n {
+		panic(fmt.Sprintf("kge: batch score buffer is %dx%d, want %dx%d", out.Rows, out.Cols, rows, n))
+	}
+}
+
+// ScoreAllObjectsBatch implements BatchScorer: the k query vectors
+// qⱼ = sⱼ∘r form a k×d matrix and the whole block is one E·Qᵀ product.
+func (m *DistMult) ScoreAllObjectsBatch(ss []kg.EntityID, r kg.RelationID, out *vecmath.Matrix) {
+	checkBatchBuf(out, len(ss), m.cfg.NumEntities)
+	q := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	rRow := m.rel.M.Row(int(r))
+	for j, s := range ss {
+		vecmath.Hadamard(q.Row(j), m.ent.M.Row(int(s)), rRow)
+	}
+	vecmath.MatMat(out, m.ent.M, q)
+}
+
+// ScoreAllObjectsBatch implements BatchScorer with the same 2d-wide query
+// construction as ScoreAllObjects, batched into one E·Qᵀ product.
+func (m *ComplEx) ScoreAllObjectsBatch(ss []kg.EntityID, r kg.RelationID, out *vecmath.Matrix) {
+	checkBatchBuf(out, len(ss), m.cfg.NumEntities)
+	d := m.cfg.Dim
+	rre, rim := m.split(m.rel.M.Row(int(r)))
+	q := vecmath.NewMatrix(len(ss), 2*d)
+	for j, s := range ss {
+		sre, sim := m.split(m.ent.M.Row(int(s)))
+		row := q.Row(j)
+		for i := 0; i < d; i++ {
+			row[i] = sre[i]*rre[i] - sim[i]*rim[i]
+			row[d+i] = sim[i]*rre[i] + sre[i]*rim[i]
+		}
+	}
+	vecmath.MatMat(out, m.ent.M, q)
+}
+
+// ScoreAllObjectsBatch implements BatchScorer: qⱼ = Wᵣᵀ·sⱼ per subject,
+// then one E·Qᵀ product. The k Wᵣᵀ·s products also reuse Wᵣ while it is
+// cache-hot, which the per-group path re-reads per subject.
+func (m *RESCAL) ScoreAllObjectsBatch(ss []kg.EntityID, r kg.RelationID, out *vecmath.Matrix) {
+	checkBatchBuf(out, len(ss), m.cfg.NumEntities)
+	q := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	for j, s := range ss {
+		m.wts(q.Row(j), r, m.ent.M.Row(int(s)))
+	}
+	vecmath.MatMat(out, m.ent.M, q)
+}
+
+// ScoreAllObjectsBatch implements BatchScorer: qⱼ = r * sⱼ (circular
+// convolution) per subject, then one E·Qᵀ product.
+func (m *HolE) ScoreAllObjectsBatch(ss []kg.EntityID, r kg.RelationID, out *vecmath.Matrix) {
+	checkBatchBuf(out, len(ss), m.cfg.NumEntities)
+	q := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	rRow := m.rel.M.Row(int(r))
+	for j, s := range ss {
+		fft.Convolve(q.Row(j), rRow, m.ent.M.Row(int(s)))
+	}
+	vecmath.MatMat(out, m.ent.M, q)
+}
+
+// ScoreAllObjectsBatch implements BatchScorer: k convolution+FC forward
+// passes produce a k×d hidden matrix, the output layer becomes one E·Hᵀ
+// product, and the per-entity biases are added row by row in the same
+// ascending order as ScoreAllObjects.
+func (m *ConvE) ScoreAllObjectsBatch(ss []kg.EntityID, r kg.RelationID, out *vecmath.Matrix) {
+	checkBatchBuf(out, len(ss), m.cfg.NumEntities)
+	h := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	for j, s := range ss {
+		copy(h.Row(j), m.forward(s, r).hidden)
+	}
+	vecmath.MatMat(out, m.ent.M, h)
+	for j := range ss {
+		row := out.Row(j)
+		for o := range row {
+			row[o] += m.entBias.M.Row(o)[0]
+		}
+	}
+}
+
+// ScoreAllObjectsBatch implements BatchScorer. TransE's sweep is a distance,
+// not a dot product, so there is no MatMat formulation that preserves the
+// accumulation order; instead the entity table is walked in MatMat's row
+// tiles with every query scoring a tile before it leaves cache, reusing the
+// exact per-pair distance kernels of ScoreAllObjects.
+func (m *TransE) ScoreAllObjectsBatch(ss []kg.EntityID, r kg.RelationID, out *vecmath.Matrix) {
+	checkBatchBuf(out, len(ss), m.cfg.NumEntities)
+	q := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	rRow := m.rel.M.Row(int(r))
+	for j, s := range ss {
+		vecmath.Add(q.Row(j), m.ent.M.Row(int(s)), rRow)
+	}
+	n := m.cfg.NumEntities
+	tile := vecmath.MatMatTileRows(m.cfg.Dim)
+	for lo := 0; lo < n; lo += tile {
+		hi := lo + tile
+		if hi > n {
+			hi = n
+		}
+		for j := range ss {
+			qj, dst := q.Row(j), out.Row(j)
+			for o := lo; o < hi; o++ {
+				row := m.ent.M.Row(o)
+				var d float32
+				if m.norm == 1 {
+					d = vecmath.L1Distance(qj, row)
+				} else {
+					d = vecmath.SquaredL2Distance(qj, row)
+				}
+				dst[o] = -d
+			}
+		}
+	}
+}

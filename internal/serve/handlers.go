@@ -338,5 +338,6 @@ func (s *Server) runDiscover(strategy core.Strategy, relations []kg.RelationID, 
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.observeDiscovery(res.Stats)
 	return s.renderResult(res, req.Limit)
 }

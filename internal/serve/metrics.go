@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/jobs"
 )
 
@@ -40,6 +41,12 @@ type metrics struct {
 	dedups         uint64 // requests served by another request's in-flight run
 	rejected       uint64 // /discover requests refused with 429 (semaphore full)
 	panics         uint64 // handler panics converted to 500 by the recovery middleware
+
+	// Ranking counters, accumulated from every completed discovery run
+	// (synchronous /discover and async jobs alike) via observeDiscovery.
+	scoreSweeps   uint64 // score sweeps: one per distinct (s, r) candidate group
+	batchedSweeps uint64 // relation-blocked batch dispatches (tiled matrix–matrix passes)
+	batchRows     uint64 // query rows carried by those batches
 }
 
 func newMetrics() *metrics {
@@ -82,6 +89,16 @@ func (m *metrics) endRequest(route string, code int, d time.Duration) {
 func (m *metrics) add(field *uint64, n uint64) {
 	m.mu.Lock()
 	*field += n
+	m.mu.Unlock()
+}
+
+// observeDiscovery folds one completed discovery run's ranking stats into
+// the counters.
+func (m *metrics) observeDiscovery(st core.Stats) {
+	m.mu.Lock()
+	m.scoreSweeps += uint64(st.ScoreSweeps)
+	m.batchedSweeps += uint64(st.BatchedSweeps)
+	m.batchRows += uint64(st.BatchRows)
 	m.mu.Unlock()
 }
 
@@ -153,6 +170,9 @@ func (m *metrics) writeTo(w io.Writer) {
 	scalar("kgserve_singleflight_dedup_total", "Requests coalesced onto another request's in-flight execution.", m.dedups)
 	scalar("kgserve_discover_rejected_total", "Discover requests refused with 429 because the concurrency limit was reached.", m.rejected)
 	scalar("kgserve_panics_total", "Handler panics recovered and converted to 500 responses.", m.panics)
+	scalar("kgserve_ranking_score_sweeps_total", "Score sweeps run while ranking discovery candidates (one per distinct subject-relation group).", m.scoreSweeps)
+	scalar("kgserve_ranking_batched_sweeps_total", "Relation-blocked batch dispatches: tiled matrix-matrix passes over the entity table.", m.batchedSweeps)
+	scalar("kgserve_ranking_batch_rows_total", "Query rows scored through batched passes; rows/dispatches is the amortization factor.", m.batchRows)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPprofDisabledByDefault: the profiling endpoints expose stacks and heap
+// contents, so they must 404 unless explicitly enabled.
+func TestPprofDisabledByDefault(t *testing.T) {
+	srv := newTestServer(t, nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("GET /debug/pprof/ with pprof disabled: code %d, want 404", rec.Code)
+	}
+}
+
+func TestPprofEnabled(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.EnablePprof = true })
+	h := srv.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: code %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index does not list profiles: %q", rec.Body.String()[:min(200, rec.Body.Len())])
+	}
+
+	// A named profile renders too (heap is always available).
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/heap?debug=1", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("GET /debug/pprof/heap: code %d, want 200", rec.Code)
+	}
+}
+
+// TestMetricsRankingCounters drives one synchronous /discover and checks the
+// batch-ranking counters reach /metrics.
+func TestMetricsRankingCounters(t *testing.T) {
+	srv := newTestServer(t, nil)
+	h := srv.Handler()
+	rec, out := doReq(t, h, "POST", "/discover", map[string]any{
+		"top_n": 20, "max_candidates": 30, "seed": 7,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /discover: code %d body %v", rec.Code, out)
+	}
+
+	scrape := httptest.NewRecorder()
+	h.ServeHTTP(scrape, httptest.NewRequest("GET", "/metrics", nil))
+	body := scrape.Body.String()
+	for _, name := range []string{
+		"kgserve_ranking_score_sweeps_total",
+		"kgserve_ranking_batched_sweeps_total",
+		"kgserve_ranking_batch_rows_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics output missing %s", name)
+			continue
+		}
+		if strings.Contains(body, name+" 0\n") {
+			t.Errorf("%s still zero after a /discover sweep", name)
+		}
+	}
+}

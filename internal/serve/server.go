@@ -29,6 +29,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -79,6 +80,10 @@ type Config struct {
 	// Logger receives access logs, panics, and lifecycle messages.
 	// Default log.Default().
 	Logger *log.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiling endpoints expose stacks and heap contents, so
+	// they are opt-in (kgserve -pprof) rather than always-on.
+	EnablePprof bool
 }
 
 func (c *Config) setDefaults() {
@@ -157,7 +162,11 @@ func New(ds *kg.Dataset, model kge.Trainable, cfg Config) (*Server, error) {
 		TTL:          cfg.JobTTL,
 		Dir:          cfg.JobDir,
 		Discover: func(ctx context.Context, m kge.Model, g *kg.Graph, strategy core.Strategy, opts core.Options) (*core.Result, error) {
-			return s.discover(ctx, m, g, strategy, opts)
+			res, err := s.discover(ctx, m, g, strategy, opts)
+			if err == nil {
+				s.metrics.observeDiscovery(res.Stats)
+			}
+			return res, err
 		},
 	})
 	if ds.Valid.Len() > 0 {
@@ -208,6 +217,16 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /jobs/{id}", s.wrap("/jobs/{id}", s.handleJobStatus))
 	mux.Handle("GET /jobs/{id}/result", s.wrap("/jobs/{id}/result", s.handleJobResult))
 	mux.Handle("DELETE /jobs/{id}", s.wrap("/jobs/{id}", s.handleJobCancel))
+	if s.cfg.EnablePprof {
+		// Mounted bare (no wrap): the profile handlers stream for seconds at
+		// a time and must not show up in request-latency histograms or be
+		// subject to body limits.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

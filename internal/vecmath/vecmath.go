@@ -259,9 +259,18 @@ func MatVec(dst []float32, m *Matrix, x []float32) []float32 {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic("vecmath: MatVec dimension mismatch")
 	}
+	matVecRange(dst, m, x, 0, m.Rows)
+	return dst
+}
+
+// matVecRange is MatVec restricted to rows [lo, hi): dst[i] = M.Row(i)·x for
+// i in the range. When lo is a multiple of 4 the per-row accumulation is the
+// same as a whole-matrix MatVec — the 4-row blocks land on the same row
+// indices — which is the property MatMat's tiling relies on for bit-identity.
+func matVecRange(dst []float32, m *Matrix, x []float32, lo, hi int) {
 	d := m.Cols
-	i := 0
-	for ; i+4 <= m.Rows; i += 4 {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
 		r0 := m.Data[i*d : i*d+d : i*d+d]
 		r1 := m.Data[(i+1)*d : (i+1)*d+d : (i+1)*d+d]
 		r2 := m.Data[(i+2)*d : (i+2)*d+d : (i+2)*d+d]
@@ -291,8 +300,57 @@ func MatVec(dst []float32, m *Matrix, x []float32) []float32 {
 		dst[i+2] = s2a + s2b
 		dst[i+3] = s3a + s3b
 	}
-	for ; i < m.Rows; i++ {
+	for ; i < hi; i++ {
 		dst[i] = Dot(m.Row(i), x)
+	}
+}
+
+// matMatTileBytes is the row-tile footprint MatMat targets: one tile of M's
+// rows should fit the L1 data cache with room left for the query rows and
+// the destination slices, so every query of a block reads the tile from
+// cache instead of RAM.
+const matMatTileBytes = 32 << 10
+
+// MatMatTileRows returns the row-tile height MatMat uses for a matrix with
+// cols columns: the largest multiple of 4 whose float32 footprint fits
+// matMatTileBytes, and at least 4. It is exported so callers that tile
+// non-dot-product sweeps the same way (TransE's distance sweeps) stay
+// consistent with MatMat's blocking.
+func MatMatTileRows(cols int) int {
+	rows := matMatTileBytes / (4 * cols)
+	rows -= rows % 4
+	if rows < 4 {
+		rows = 4
+	}
+	return rows
+}
+
+// MatMat computes dst = Q·Mᵀ: dst.Row(j) = M·Q.Row(j) for every query row j.
+// M is streamed in L1-sized row tiles and each tile is swept by every query
+// before moving on, so the |M| memory traffic of Q.Rows MatVec calls is paid
+// once per tile instead of once per query — the batching that makes
+// relation-blocked ranking cheaper than per-group sweeps wherever the sweep
+// is memory-bound. (A fused multi-query microkernel was measured slower
+// here: the extra accumulator chains spill out of registers under Go's
+// scalar codegen, costing more than the shared row loads save.)
+//
+// Every dst row is bit-identical to MatVec(dst.Row(j), m, q.Row(j)): tile
+// boundaries are multiples of 4 (MatMatTileRows), so each tile's 4-row
+// blocks and final Dot tail fall on exactly the row indices a whole-matrix
+// MatVec would use, and the per-(row, query) accumulation order is unchanged.
+func MatMat(dst, m, q *Matrix) *Matrix {
+	if q.Cols != m.Cols || dst.Rows != q.Rows || dst.Cols != m.Rows {
+		panic("vecmath: MatMat dimension mismatch")
+	}
+	tile := MatMatTileRows(m.Cols)
+	for lo := 0; lo < m.Rows; lo += tile {
+		hi := lo + tile
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		for j := 0; j < q.Rows; j++ {
+			matVecRange(dst.Row(j), m, q.Row(j), lo, hi)
+		}
 	}
 	return dst
 }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Perf trajectory: run the score-sweep kernels (MatVec/MatMat) and the
+# batched-ranking ablation, then emit results/BENCH_5.json with one record
+# per benchmark op: {"op", "ns_per_op", "mb_per_s"}. mb_per_s is 0 for
+# benchmarks that do not report throughput (the ablation measures wall-clock
+# per ranking pass, not memory traffic).
+#
+#   scripts/bench.sh [output.json]
+#
+# BENCHTIME (default 3x) trades precision for CI runtime; use e.g.
+# BENCHTIME=2s locally for tighter numbers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-results/BENCH_5.json}"
+benchtime="${BENCHTIME:-3x}"
+raw="$(mktemp)"
+trap 'rm -rf "$raw"' EXIT
+
+echo "== kernel benchmarks (internal/vecmath) =="
+go test -run '^$' -bench 'BenchmarkMatVec|BenchmarkMatMat' \
+  -benchtime "$benchtime" ./internal/vecmath | tee -a "$raw"
+
+echo "== ranking ablation (repo root) =="
+go test -run '^$' -bench 'BenchmarkAblationBatchedRanking' \
+  -benchtime "$benchtime" . | tee -a "$raw"
+
+# Benchmark lines look like either of:
+#   BenchmarkMatMat/d=64/q=8-8    100    12345 ns/op    9876.54 MB/s
+#   BenchmarkAblationBatchedRanking/batched/500-8    3    57410274 ns/op
+awk '
+  /^Benchmark/ && / ns\/op/ {
+    op = $1
+    sub(/-[0-9]+$/, "", op)          # strip the -GOMAXPROCS suffix
+    ns = 0; mb = 0
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i - 1)
+      if ($i == "MB/s") mb = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s}", op, ns, mb
+  }
+  BEGIN { printf "[\n" }
+  END   { printf "\n]\n" }
+' "$raw" >"$out"
+
+n="$(grep -c '"op"' "$out" || true)"
+if [ "$n" -lt 1 ]; then
+  echo "bench.sh FAILED: no benchmark results parsed" >&2
+  exit 1
+fi
+echo "wrote $out ($n benchmarks)"

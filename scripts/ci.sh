@@ -64,6 +64,30 @@ for obj in negsample kvsall; do
   echo "$obj: workers-invariant checkpoint sha256 $d1"
 done
 
+echo "== batched-ranking byte-identity gate =="
+# The relation-blocked batch scorer is a scheduling change, not a numerical
+# one: every model × protocol must discover byte-identical TSVs with
+# -batch=true and -batch=false. Run on the determinism smoke's tiny dataset
+# so the whole matrix (6 models × 2 protocols) stays under a few seconds.
+go build -o "$tmp/kgdiscover" ./cmd/kgdiscover
+for m in transe distmult complex rescal hole conve; do
+  "$tmp/kgtrain" -data "$tmp/data" -model "$m" -dim 16 -epochs 1 \
+    -seed 11 -quiet -out "$tmp/ident-$m.kge" >/dev/null
+  for filt in false true; do
+    for b in true false; do
+      "$tmp/kgdiscover" -data "$tmp/data" -model "$tmp/ident-$m.kge" \
+        -strategy graph_degree -top_n 200 -max_candidates 200 -seed 3 \
+        -limit 0 -rank_filtered="$filt" -batch="$b" \
+        -out "$tmp/ident-$m-$filt-$b.tsv" >/dev/null
+    done
+    if ! cmp -s "$tmp/ident-$m-$filt-true.tsv" "$tmp/ident-$m-$filt-false.tsv"; then
+      echo "byte-identity gate FAILED: $m (rank_filtered=$filt) batched and grouped TSVs differ" >&2
+      exit 1
+    fi
+  done
+done
+echo "byte-identity gate: 6 models x 2 protocols, batched == grouped"
+
 echo "== kgserve end-to-end smoke =="
 # Boot the real server binary on a random port over a tiny dataset, check
 # health, discover the same facts twice (the second answer must come from
@@ -117,7 +141,6 @@ echo "== crash-resume gate =="
   -out "$tmp/crashdata" >/dev/null
 "$tmp/kgtrain" -data "$tmp/crashdata" -model distmult -dim 16 -epochs 1 \
   -seed 5 -quiet -out "$tmp/crash.kge" >/dev/null
-go build -o "$tmp/kgdiscover" ./cmd/kgdiscover
 disc() {
   "$tmp/kgdiscover" -data "$tmp/crashdata" -model "$tmp/crash.kge" \
     -strategy graph_degree -top_n 4000 -max_candidates 4000 -seed 3 -limit 0 "$@"
