@@ -13,7 +13,15 @@ import (
 	"repro/internal/eval"
 	"repro/internal/kg"
 	"repro/internal/kge"
+	"repro/internal/prune"
 	"repro/internal/sample"
+)
+
+// Options.PruneMode values.
+const (
+	PruneOff    = "off"
+	PruneExact  = "exact"
+	PruneApprox = "approx"
 )
 
 // Options parameterizes DiscoverFacts (Algorithm 1's inputs).
@@ -57,6 +65,24 @@ type Options struct {
 	// (s, r) groups, so a worker's batch stays within a fixed memory budget
 	// regardless of vocabulary size. Zero means DefaultBatchBudgetBytes.
 	BatchBudgetBytes int
+	// PruneMode selects the approximate-then-exact ranking path backed by a
+	// prune.Index over the entity table: "" or PruneOff runs the dense
+	// sweeps; PruneExact prunes with sound score bounds and produces output
+	// byte-identical to the dense path; PruneApprox additionally caps the
+	// cells visited per query (PruneProbe) and filters on raw int8 estimates,
+	// trading recall for speed. Any other value is an error.
+	PruneMode string
+	// PruneCells overrides the index's cell count (0 means ⌈√|E|⌉). It only
+	// matters when the index is built here — a prebuilt PruneIndex keeps the
+	// cell count it was built with.
+	PruneCells int
+	// PruneProbe caps the cells visited per query in PruneApprox mode; ≤ 0
+	// picks ⌈cells/8⌉ of the index. Ignored in PruneExact mode.
+	PruneProbe int
+	// PruneIndex supplies a prebuilt index (e.g. loaded from the checkpoint
+	// sidecar via prune.LoadOrBuild). Nil with pruning enabled builds one
+	// in-process from the model, which costs one k-means pass up front.
+	PruneIndex *prune.Index
 	// Calibrator maps raw model scores to probabilities (e.g. a fitted
 	// eval.PlattCalibrator's Prob method). Together with MinProbability it
 	// implements Definition 2.1's original formulation — keep facts with
@@ -139,6 +165,14 @@ type Stats struct {
 	// BatchRows/BatchedSweeps is the achieved amortization factor (average
 	// rows per entity-matrix pass).
 	BatchRows int
+	// CellsPruned counts IVF cells the pruned ranking path discarded by
+	// their score bound without visiting their members (zero with pruning
+	// off). CellsPruned/(CellsPruned+cells visited) is the fraction of the
+	// entity table the coarse index let ranking skip outright.
+	CellsPruned int
+	// PrescreenRows counts entity rows the pruned path evaluated with the
+	// int8 filter instead of (or before) the exact float kernels.
+	PrescreenRows int
 	// PerRelation records each swept relation's timings and counters in
 	// sweep order. It is what the durable-job journal persists per relation
 	// and what progress reporting renders.
@@ -157,6 +191,8 @@ type RelationStats struct {
 	ScoreSweeps   int
 	BatchedSweeps int
 	BatchRows     int
+	CellsPruned   int
+	PrescreenRows int
 	Facts         int
 }
 
@@ -214,6 +250,32 @@ func DiscoverFacts(ctx context.Context, model kge.Model, g *kg.Graph, strategy S
 	opts.setDefaults()
 	if model.NumEntities() < g.NumEntities() {
 		return nil, fmt.Errorf("core: model covers %d entities but graph has %d", model.NumEntities(), g.NumEntities())
+	}
+	switch opts.PruneMode {
+	case "", PruneOff:
+		opts.PruneIndex = nil
+	case PruneExact, PruneApprox:
+		sw, ok := model.(kge.ObjectSweeper)
+		if !ok {
+			return nil, fmt.Errorf("core: model %q does not expose a sweep geometry for pruned ranking", model.Name())
+		}
+		if opts.PruneIndex == nil {
+			tr, ok := model.(kge.Trainable)
+			if !ok {
+				return nil, fmt.Errorf("core: model %q cannot be fingerprinted for pruned ranking", model.Name())
+			}
+			ix, err := prune.Build(sw, kge.Fingerprint(tr), prune.Params{Cells: opts.PruneCells})
+			if err != nil {
+				return nil, fmt.Errorf("core: build prune index: %w", err)
+			}
+			opts.PruneIndex = ix
+		} else if opts.PruneIndex.Geometry() != sw.SweepGeometry() ||
+			opts.PruneIndex.NumEntities() != sw.NumEntities() {
+			return nil, fmt.Errorf("core: prune index does not match the model's sweep geometry")
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown prune mode %q (want %q, %q, or %q)",
+			opts.PruneMode, PruneOff, PruneExact, PruneApprox)
 	}
 	start := time.Now()
 	res := &Result{}
@@ -279,6 +341,8 @@ func DiscoverFacts(ctx context.Context, model kge.Model, g *kg.Graph, strategy S
 				rel.ScoreSweeps = rstats.Sweeps
 				rel.BatchedSweeps = rstats.BatchedSweeps
 				rel.BatchRows = rstats.BatchRows
+				rel.CellsPruned = rstats.CellsPruned
+				rel.PrescreenRows = rstats.PrescreenRows
 				res.Stats.GroupedCandidates += len(candidates)
 
 				// Line 15: keep candidates within the quality threshold —
@@ -315,6 +379,8 @@ func DiscoverFacts(ctx context.Context, model kge.Model, g *kg.Graph, strategy S
 		res.Stats.ScoreSweeps += rel.ScoreSweeps
 		res.Stats.BatchedSweeps += rel.BatchedSweeps
 		res.Stats.BatchRows += rel.BatchRows
+		res.Stats.CellsPruned += rel.CellsPruned
+		res.Stats.PrescreenRows += rel.PrescreenRows
 		res.Stats.PerRelation = append(res.Stats.PerRelation, rel)
 		if opts.OnRelationDone != nil {
 			opts.OnRelationDone(RelationDone{
@@ -422,14 +488,25 @@ type objectRanker interface {
 	RankObjectsBatch(rel kg.RelationID, groups []eval.Group) ([][]int, [][]float32)
 }
 
+// prunedRanker is the optional pruned-path extension of objectRanker. It is
+// a separate interface (asserted at runtime, not added to objectRanker) so
+// ranker substitutes that only implement the dense protocol keep working.
+type prunedRanker interface {
+	RankObjectsPruned(rel kg.RelationID, groups []eval.Group, topN int, cfg eval.PruneConfig) ([][]int, [][]float32, eval.PruneStats)
+}
+
 // rankStats is rankAll's instrumentation: Sweeps counts score sweeps (one
 // per distinct (s, r) group, either scheduler); BatchedSweeps counts batch
 // dispatches (one tiled matrix–matrix pass each) and BatchRows the query
-// rows they carried.
+// rows they carried. Under pruned ranking the batch counters stay zero —
+// blocks are branch-and-bound searches, not matrix–matrix sweeps — and the
+// prune counters report the work the index saved and spent instead.
 type rankStats struct {
 	Sweeps        int
 	BatchedSweeps int
 	BatchRows     int
+	CellsPruned   int
+	PrescreenRows int
 }
 
 // srGroup is one (s, r) candidate group: the candidate indexes sharing that
@@ -517,6 +594,17 @@ func rankAll(ctx context.Context, ranker objectRanker, candidates []kg.Triple, n
 		}
 		relGroups[g.r] = append(relGroups[g.r], g)
 	}
+	// Pruned ranking replaces each block's matrix–matrix sweep with
+	// branch-and-bound top-M searches; blocks remain the scheduling unit.
+	pruner, _ := ranker.(prunedRanker)
+	pruneOn := opts.PruneIndex != nil && pruner != nil &&
+		(opts.PruneMode == PruneExact || opts.PruneMode == PruneApprox)
+	pruneCfg := eval.PruneConfig{
+		Index: opts.PruneIndex,
+		Exact: opts.PruneMode == PruneExact,
+		Probe: opts.PruneProbe,
+	}
+
 	for _, r := range relOrder {
 		gs := relGroups[r]
 		for lo := 0; lo < len(gs); lo += blockRows {
@@ -525,8 +613,10 @@ func rankAll(ctx context.Context, ranker objectRanker, candidates []kg.Triple, n
 				hi = len(gs)
 			}
 			blocks = append(blocks, rankBlock{rel: r, groups: gs[lo:hi]})
-			stats.BatchedSweeps++
-			stats.BatchRows += hi - lo
+			if !pruneOn {
+				stats.BatchedSweeps++
+				stats.BatchRows += hi - lo
+			}
 		}
 	}
 
@@ -535,12 +625,14 @@ func rankAll(ctx context.Context, ranker objectRanker, candidates []kg.Triple, n
 		workers = len(blocks)
 	}
 	blockCh := make(chan rankBlock)
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var egroups []eval.Group
+			var pst eval.PruneStats
 			for b := range blockCh {
 				if ctx.Err() != nil {
 					return
@@ -553,13 +645,28 @@ func rankAll(ctx context.Context, ranker objectRanker, candidates []kg.Triple, n
 					}
 					egroups = append(egroups, eval.Group{S: g.s, Objects: objects})
 				}
-				rs, ss := ranker.RankObjectsBatch(b.rel, egroups)
+				var rs [][]int
+				var ss [][]float32
+				if pruneOn {
+					var st eval.PruneStats
+					rs, ss, st = pruner.RankObjectsPruned(b.rel, egroups, opts.TopN, pruneCfg)
+					pst.CellsPruned += st.CellsPruned
+					pst.PrescreenRows += st.PrescreenRows
+				} else {
+					rs, ss = ranker.RankObjectsBatch(b.rel, egroups)
+				}
 				for gi, g := range b.groups {
 					for j, i := range g.idx {
 						ranks[i] = rs[gi][j]
 						scores[i] = ss[gi][j]
 					}
 				}
+			}
+			if pst != (eval.PruneStats{}) {
+				mu.Lock()
+				stats.CellsPruned += pst.CellsPruned
+				stats.PrescreenRows += pst.PrescreenRows
+				mu.Unlock()
 			}
 		}()
 	}

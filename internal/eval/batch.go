@@ -17,20 +17,52 @@ type Group struct {
 }
 
 // batchBufs is the pooled working set of one RankObjectsBatch call. data
-// backs the k×|E| score matrix and is grown geometrically; the small scratch
-// slices back the counting-rank pass and are sized by the largest group.
+// backs the k×|E| score matrix; the small scratch slices back the
+// counting-rank pass and are sized by the largest group.
+//
+// data is grown on demand and released again when it stays oversized: one
+// skewed relation block (a single subject hub with thousands of groups) would
+// otherwise pin a block-sized buffer in the pool for the rest of the process,
+// multiplied per concurrent worker. The policy is hysteretic so steady
+// mixed-size workloads do not thrash: only after batchShrinkStreak
+// consecutive calls that use less than 1/batchShrinkFactor of the capacity
+// (and only above a floor worth reclaiming) is the backing array dropped and
+// reallocated at the current need.
 type batchBufs struct {
-	data    []float32
-	vals    []float32
-	eq      []int
-	between []int
-	greater []int
+	data      []float32
+	smallUses int // consecutive matrix() calls using < cap/batchShrinkFactor
+	vals      []float32
+	eq        []int
+	between   []int
+	greater   []int
 }
+
+const (
+	// batchShrinkFactor is the under-use ratio that counts toward release:
+	// a call needing less than cap/4 flags the buffer as oversized.
+	batchShrinkFactor = 4
+	// batchShrinkStreak is how many consecutive under-used calls trigger the
+	// release — one oversized block per streak window is tolerated for free.
+	batchShrinkStreak = 8
+	// batchShrinkFloor is the capacity (in float32s, 256 KiB) below which the
+	// buffer is never released: reclaiming less is churn, not savings.
+	batchShrinkFloor = 1 << 16
+)
 
 func (b *batchBufs) matrix(rows, cols int) *vecmath.Matrix {
 	need := rows * cols
-	if cap(b.data) < need {
+	switch {
+	case cap(b.data) < need:
 		b.data = make([]float32, need)
+		b.smallUses = 0
+	case cap(b.data) > batchShrinkFloor && need < cap(b.data)/batchShrinkFactor:
+		b.smallUses++
+		if b.smallUses >= batchShrinkStreak {
+			b.data = make([]float32, need)
+			b.smallUses = 0
+		}
+	default:
+		b.smallUses = 0
 	}
 	return &vecmath.Matrix{Rows: rows, Cols: cols, Data: b.data[:need]}
 }

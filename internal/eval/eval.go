@@ -34,6 +34,10 @@ type Ranker struct {
 	// score matrices are sized per relation block, so it is separate from the
 	// fixed-size sweep pool above.
 	batchPool sync.Pool
+	// prunePool holds *prune.Searcher working sets for RankObjectsPruned
+	// (see pruned.go); searchers are pinned to one index, so entries built
+	// for a stale index are dropped rather than reused.
+	prunePool sync.Pool
 }
 
 // sweepBufs is the per-call working set: the raw score sweep and a sorted

@@ -71,6 +71,10 @@ type StatsRecord struct {
 	// measured.
 	BatchedSweeps int `json:"batched_sweeps,omitempty"`
 	BatchRows     int `json:"batch_rows,omitempty"`
+	// Prune counters follow the same omitempty pattern: zero (and absent)
+	// for every run with pruning off, including all pre-pruning journals.
+	CellsPruned   int `json:"cells_pruned,omitempty"`
+	PrescreenRows int `json:"prescreen_rows,omitempty"`
 }
 
 // RelationRecord marks one relation's sweep complete: the facts it kept and
@@ -295,6 +299,8 @@ func relationRecordOf(d core.RelationDone) RelationRecord {
 			ScoreSweeps:   d.Stats.ScoreSweeps,
 			BatchedSweeps: d.Stats.BatchedSweeps,
 			BatchRows:     d.Stats.BatchRows,
+			CellsPruned:   d.Stats.CellsPruned,
+			PrescreenRows: d.Stats.PrescreenRows,
 		},
 	}
 	for _, f := range d.Facts {
@@ -315,6 +321,8 @@ func relationStatsOf(rec RelationRecord) core.RelationStats {
 		ScoreSweeps:   rec.Stats.ScoreSweeps,
 		BatchedSweeps: rec.Stats.BatchedSweeps,
 		BatchRows:     rec.Stats.BatchRows,
+		CellsPruned:   rec.Stats.CellsPruned,
+		PrescreenRows: rec.Stats.PrescreenRows,
 		Facts:         len(rec.Facts),
 	}
 }

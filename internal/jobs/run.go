@@ -74,6 +74,25 @@ func OptionsHash(strategyName string, g *kg.Graph, opts core.Options, relations 
 	if opts.Filter != nil {
 		filterLen = opts.Filter.Len()
 	}
+	// Pruning fields join the hash only when pruning is enabled, and via
+	// omitempty: runs with pruning off (including every journal written
+	// before the pruned path existed) hash exactly as they always did, so
+	// old checkpoints stay resumable. PruneExact is also output-identical to
+	// pruning off by construction, but it changes how the output is computed,
+	// so it is pinned rather than aliased — resuming a checkpoint under a
+	// different ranking path is exactly the kind of drift the hash exists to
+	// refuse.
+	pruneMode := opts.PruneMode
+	if pruneMode == core.PruneOff {
+		pruneMode = ""
+	}
+	pruneCells, pruneProbe := 0, 0
+	if pruneMode != "" {
+		pruneCells = opts.PruneCells
+		if pruneMode == core.PruneApprox {
+			pruneProbe = opts.PruneProbe
+		}
+	}
 	canonical := struct {
 		Strategy       string          `json:"strategy"`
 		TopN           int             `json:"top_n"`
@@ -89,6 +108,9 @@ func OptionsHash(strategyName string, g *kg.Graph, opts core.Options, relations 
 		GraphTriples   int             `json:"graph_triples"`
 		GraphEntities  int             `json:"graph_entities"`
 		GraphRelations int             `json:"graph_relations"`
+		PruneMode      string          `json:"prune_mode,omitempty"`
+		PruneCells     int             `json:"prune_cells,omitempty"`
+		PruneProbe     int             `json:"prune_probe,omitempty"`
 	}{
 		Strategy:       strategyName,
 		TopN:           opts.TopN,
@@ -104,6 +126,9 @@ func OptionsHash(strategyName string, g *kg.Graph, opts core.Options, relations 
 		GraphTriples:   g.Len(),
 		GraphEntities:  g.NumEntities(),
 		GraphRelations: g.NumRelations(),
+		PruneMode:      pruneMode,
+		PruneCells:     pruneCells,
+		PruneProbe:     pruneProbe,
 	}
 	b, _ := json.Marshal(canonical)
 	sum := sha256.Sum256(b)
@@ -209,6 +234,8 @@ func run(ctx context.Context, spec Spec, discover discoverFunc) (*core.Result, R
 		res.Stats.ScoreSweeps += st.ScoreSweeps
 		res.Stats.BatchedSweeps += st.BatchedSweeps
 		res.Stats.BatchRows += st.BatchRows
+		res.Stats.CellsPruned += st.CellsPruned
+		res.Stats.PrescreenRows += st.PrescreenRows
 		res.Stats.GroupedCandidates += st.Generated
 		res.Stats.PerRelation = append(res.Stats.PerRelation, st)
 		for _, f := range rec.Facts {
@@ -256,6 +283,8 @@ func run(ctx context.Context, spec Spec, discover discoverFunc) (*core.Result, R
 		res.Stats.ScoreSweeps += swept.Stats.ScoreSweeps
 		res.Stats.BatchedSweeps += swept.Stats.BatchedSweeps
 		res.Stats.BatchRows += swept.Stats.BatchRows
+		res.Stats.CellsPruned += swept.Stats.CellsPruned
+		res.Stats.PrescreenRows += swept.Stats.PrescreenRows
 		res.Stats.GroupedCandidates += swept.Stats.GroupedCandidates
 		res.Stats.PerRelation = append(res.Stats.PerRelation, swept.Stats.PerRelation...)
 	}

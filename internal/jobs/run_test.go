@@ -288,6 +288,71 @@ func TestOptionsHashNormalization(t *testing.T) {
 	}
 }
 
+// TestOptionsHashPruneCompat pins the pruning fields' back-compat contract:
+// with pruning off they must not perturb the hash at all (pre-pruning
+// checkpoints keep resuming), while any enabled pruning configuration must
+// rehash.
+func TestOptionsHashPruneCompat(t *testing.T) {
+	ds, _, _ := testModel(t)
+	rels := ds.Train.RelationIDs()
+	base := OptionsHash("s", ds.Train, normalize(core.Options{}), rels)
+
+	off := normalize(core.Options{PruneMode: core.PruneOff})
+	if OptionsHash("s", ds.Train, off, rels) != base {
+		t.Error(`PruneMode "off" changed the hash — old WALs would be rejected`)
+	}
+	// Stray knobs with pruning off are inert and must stay out of the hash.
+	offKnobs := normalize(core.Options{PruneMode: core.PruneOff, PruneCells: 64, PruneProbe: 3})
+	if OptionsHash("s", ds.Train, offKnobs, rels) != base {
+		t.Error("prune knobs changed the hash while pruning was off")
+	}
+
+	exact := normalize(core.Options{PruneMode: core.PruneExact})
+	exactHash := OptionsHash("s", ds.Train, exact, rels)
+	if exactHash == base {
+		t.Error("enabling exact pruning did not change the hash")
+	}
+	approx := normalize(core.Options{PruneMode: core.PruneApprox})
+	if OptionsHash("s", ds.Train, approx, rels) == exactHash {
+		t.Error("exact and approx modes hash identically")
+	}
+	cells := normalize(core.Options{PruneMode: core.PruneExact, PruneCells: 64})
+	if OptionsHash("s", ds.Train, cells, rels) == exactHash {
+		t.Error("cell count did not change the hash with pruning on")
+	}
+	// Probe only matters (and only hashes) in approx mode.
+	exactProbe := normalize(core.Options{PruneMode: core.PruneExact, PruneProbe: 3})
+	if OptionsHash("s", ds.Train, exactProbe, rels) != exactHash {
+		t.Error("probe changed the hash in exact mode, where it is ignored")
+	}
+	approxProbe := normalize(core.Options{PruneMode: core.PruneApprox, PruneProbe: 3})
+	if OptionsHash("s", ds.Train, approxProbe, rels) == OptionsHash("s", ds.Train, approx, rels) {
+		t.Error("probe did not change the hash in approx mode")
+	}
+}
+
+// TestOptionsHashGolden pins the exact digest for a fixed synthetic input.
+// This hash is what decides whether existing WAL checkpoints resume: if this
+// test fails, the canonical JSON changed shape and every deployed journal
+// would be orphaned — only break it deliberately.
+func TestOptionsHashGolden(t *testing.T) {
+	g := kg.NewGraph()
+	for _, name := range []string{"a", "b", "c"} {
+		g.Entities.Intern(name)
+	}
+	g.Relations.Intern("likes")
+	g.Relations.Intern("knows")
+	g.Add(kg.Triple{S: 0, R: 0, O: 1})
+	g.Add(kg.Triple{S: 1, R: 1, O: 2})
+	g.Add(kg.Triple{S: 2, R: 0, O: 0})
+	rels := []kg.RelationID{0, 1}
+
+	const want = "2b27c453412be083ce2683a7d5861cde54e3e242dbeef17c8284feda9053385d"
+	if got := OptionsHash("entity_frequency", g, normalize(core.Options{Seed: 42}), rels); got != want {
+		t.Errorf("pre-pruning options hash drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestRunProgressTicks: every relation reports exactly one tick with a
 // consistent running total.
 func TestRunProgressTicks(t *testing.T) {

@@ -153,6 +153,13 @@ func Fingerprint(m Trainable) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// SidecarPath returns the canonical path of a checkpoint's pruned-ranking
+// index sidecar: the checkpoint path with ".ivf" appended. The sidecar
+// (written and read by internal/prune) is pinned to the checkpoint by the
+// model Fingerprint stored in its header, so a stale sidecar next to
+// retrained weights is detected and rebuilt rather than trusted.
+func SidecarPath(modelPath string) string { return modelPath + ".ivf" }
+
 // SaveFile writes the model to path, creating or truncating it.
 func SaveFile(m Trainable, path string) error {
 	f, err := os.Create(path)

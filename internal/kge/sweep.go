@@ -1,0 +1,190 @@
+package kge
+
+import (
+	"repro/internal/fft"
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// SweepGeometry classifies the score geometry of a model's object-side
+// corruption sweep. It is what the pruned-ranking index (internal/prune)
+// keys its bound derivations on: inner-product sweeps admit a
+// Cauchy–Schwarz cell upper bound, distance sweeps a triangle-inequality
+// one ("Knowledge Graph Embedding for Link Prediction: A Comparative
+// Analysis" groups the six models the same way).
+type SweepGeometry int
+
+const (
+	// SweepDot: score(o) = E.Row(o)·q (+ SweepBias()[o] when non-nil).
+	// DistMult, ComplEx, RESCAL, HolE, and ConvE all reduce to this.
+	SweepDot SweepGeometry = iota
+	// SweepL1: score(o) = −Σⱼ|qⱼ − E.Row(o)ⱼ| (TransE norm 1).
+	SweepL1
+	// SweepL2Sq: score(o) = −Σⱼ(qⱼ − E.Row(o)ⱼ)² (TransE norm 2).
+	SweepL2Sq
+)
+
+// ObjectSweeper exposes the linear structure of a model's ScoreAllObjects
+// sweep: a per-(s, r) query vector plus a fixed entity table, combined by
+// one of the three geometries above. A model implementing it can be ranked
+// through the prescreen-then-rerank path (internal/prune, internal/eval's
+// RankObjectsPruned) instead of always paying the dense O(|E|·d) sweep.
+//
+// Exactness contract: BuildObjectQuery must perform the same arithmetic, in
+// the same order, as the model's ScoreAllObjects query construction — then
+// rescoring entity o from q with the shared kernels (vecmath.MatVecRange on
+// aligned 4-row blocks for SweepDot, the per-row distance kernels for
+// SweepL1/SweepL2Sq, plus the single bias add) reproduces the dense sweep's
+// float32 output bit for bit. That contract is what lets exact-mode pruning
+// return byte-identical discovery results.
+type ObjectSweeper interface {
+	Model
+	// SweepGeometry returns the score family of the object sweep.
+	SweepGeometry() SweepGeometry
+	// SweepDim returns the width of the sweep's query and entity vectors —
+	// the entity table's column count (2·Dim for ComplEx).
+	SweepDim() int
+	// SweepEntityTable returns the NumEntities×SweepDim table the sweep
+	// scores against. Callers must treat it as read-only.
+	SweepEntityTable() *vecmath.Matrix
+	// SweepBias returns the per-entity additive bias applied after the dot
+	// product, or nil when the model has none. Only ConvE has one.
+	SweepBias() []float32
+	// BuildObjectQuery writes the (s, r) object-sweep query into dst, which
+	// must have length SweepDim.
+	BuildObjectQuery(s kg.EntityID, r kg.RelationID, dst []float32)
+}
+
+func checkQueryBuf(dst []float32, d int) {
+	if len(dst) != d {
+		panic("kge: object-sweep query buffer has wrong length")
+	}
+}
+
+// SweepGeometry implements ObjectSweeper.
+func (m *DistMult) SweepGeometry() SweepGeometry { return SweepDot }
+
+// SweepDim implements ObjectSweeper.
+func (m *DistMult) SweepDim() int { return m.cfg.Dim }
+
+// SweepEntityTable implements ObjectSweeper.
+func (m *DistMult) SweepEntityTable() *vecmath.Matrix { return m.ent.M }
+
+// SweepBias implements ObjectSweeper.
+func (m *DistMult) SweepBias() []float32 { return nil }
+
+// BuildObjectQuery implements ObjectSweeper: q = s∘r, exactly as
+// ScoreAllObjects constructs it.
+func (m *DistMult) BuildObjectQuery(s kg.EntityID, r kg.RelationID, dst []float32) {
+	checkQueryBuf(dst, m.cfg.Dim)
+	vecmath.Hadamard(dst, m.ent.M.Row(int(s)), m.rel.M.Row(int(r)))
+}
+
+// SweepGeometry implements ObjectSweeper.
+func (m *ComplEx) SweepGeometry() SweepGeometry { return SweepDot }
+
+// SweepDim implements ObjectSweeper: the 2·Dim storage width.
+func (m *ComplEx) SweepDim() int { return 2 * m.cfg.Dim }
+
+// SweepEntityTable implements ObjectSweeper.
+func (m *ComplEx) SweepEntityTable() *vecmath.Matrix { return m.ent.M }
+
+// SweepBias implements ObjectSweeper.
+func (m *ComplEx) SweepBias() []float32 { return nil }
+
+// BuildObjectQuery implements ObjectSweeper with ScoreAllObjects' exact
+// expression order for the real and imaginary coefficient halves.
+func (m *ComplEx) BuildObjectQuery(s kg.EntityID, r kg.RelationID, dst []float32) {
+	d := m.cfg.Dim
+	checkQueryBuf(dst, 2*d)
+	sre, sim := m.split(m.ent.M.Row(int(s)))
+	rre, rim := m.split(m.rel.M.Row(int(r)))
+	for i := 0; i < d; i++ {
+		dst[i] = sre[i]*rre[i] - sim[i]*rim[i]
+		dst[d+i] = sim[i]*rre[i] + sre[i]*rim[i]
+	}
+}
+
+// SweepGeometry implements ObjectSweeper.
+func (m *RESCAL) SweepGeometry() SweepGeometry { return SweepDot }
+
+// SweepDim implements ObjectSweeper.
+func (m *RESCAL) SweepDim() int { return m.cfg.Dim }
+
+// SweepEntityTable implements ObjectSweeper.
+func (m *RESCAL) SweepEntityTable() *vecmath.Matrix { return m.ent.M }
+
+// SweepBias implements ObjectSweeper.
+func (m *RESCAL) SweepBias() []float32 { return nil }
+
+// BuildObjectQuery implements ObjectSweeper: q = Wᵣᵀ·s via the same wts
+// kernel ScoreAllObjects uses.
+func (m *RESCAL) BuildObjectQuery(s kg.EntityID, r kg.RelationID, dst []float32) {
+	checkQueryBuf(dst, m.cfg.Dim)
+	m.wts(dst, r, m.ent.M.Row(int(s)))
+}
+
+// SweepGeometry implements ObjectSweeper.
+func (m *HolE) SweepGeometry() SweepGeometry { return SweepDot }
+
+// SweepDim implements ObjectSweeper.
+func (m *HolE) SweepDim() int { return m.cfg.Dim }
+
+// SweepEntityTable implements ObjectSweeper.
+func (m *HolE) SweepEntityTable() *vecmath.Matrix { return m.ent.M }
+
+// SweepBias implements ObjectSweeper.
+func (m *HolE) SweepBias() []float32 { return nil }
+
+// BuildObjectQuery implements ObjectSweeper: q = r * s (circular
+// convolution), the same fft.Convolve call ScoreAllObjects makes.
+func (m *HolE) BuildObjectQuery(s kg.EntityID, r kg.RelationID, dst []float32) {
+	checkQueryBuf(dst, m.cfg.Dim)
+	fft.Convolve(dst, m.rel.M.Row(int(r)), m.ent.M.Row(int(s)))
+}
+
+// SweepGeometry implements ObjectSweeper.
+func (m *ConvE) SweepGeometry() SweepGeometry { return SweepDot }
+
+// SweepDim implements ObjectSweeper.
+func (m *ConvE) SweepDim() int { return m.cfg.Dim }
+
+// SweepEntityTable implements ObjectSweeper.
+func (m *ConvE) SweepEntityTable() *vecmath.Matrix { return m.ent.M }
+
+// SweepBias implements ObjectSweeper: the per-entity output bias b_o. The
+// entbias table is N×1, so its backing data is already the flat bias vector.
+func (m *ConvE) SweepBias() []float32 { return m.entBias.M.Data }
+
+// BuildObjectQuery implements ObjectSweeper: the 1-N scoring trick's hidden
+// vector. The forward pass is deterministic in (s, r), so repeated calls
+// produce bit-identical queries.
+func (m *ConvE) BuildObjectQuery(s kg.EntityID, r kg.RelationID, dst []float32) {
+	checkQueryBuf(dst, m.cfg.Dim)
+	copy(dst, m.forward(s, r).hidden)
+}
+
+// SweepGeometry implements ObjectSweeper: TransE sweeps a distance, not a
+// dot product.
+func (m *TransE) SweepGeometry() SweepGeometry {
+	if m.norm == 1 {
+		return SweepL1
+	}
+	return SweepL2Sq
+}
+
+// SweepDim implements ObjectSweeper.
+func (m *TransE) SweepDim() int { return m.cfg.Dim }
+
+// SweepEntityTable implements ObjectSweeper.
+func (m *TransE) SweepEntityTable() *vecmath.Matrix { return m.ent.M }
+
+// SweepBias implements ObjectSweeper.
+func (m *TransE) SweepBias() []float32 { return nil }
+
+// BuildObjectQuery implements ObjectSweeper: q = s + r, exactly as
+// ScoreAllObjects constructs it.
+func (m *TransE) BuildObjectQuery(s kg.EntityID, r kg.RelationID, dst []float32) {
+	checkQueryBuf(dst, m.cfg.Dim)
+	vecmath.Add(dst, m.ent.M.Row(int(s)), m.rel.M.Row(int(r)))
+}

@@ -1,0 +1,134 @@
+package prune
+
+import (
+	"math/rand"
+
+	"repro/internal/vecmath"
+)
+
+// kmeansChunkRows bounds the transient dot-product matrix of one assignment
+// chunk (chunk × cells float32s): 4096 rows keeps it a few MiB even at large
+// cell counts while leaving MatMat long enough runs to amortize its tiling.
+const kmeansChunkRows = 4096
+
+// kmeans runs deterministic Lloyd iterations over the rows of a float32
+// matrix and returns the k×d centroid matrix plus each row's cell
+// assignment. Everything is fixed-order and seeded, so the same (rows, k,
+// iters, seed) always produces the same index: initialization samples k
+// distinct rows from a seeded permutation, assignment breaks distance ties
+// toward the lower cell id, centroid updates accumulate in float64 in row
+// order, and a cell that loses all members keeps its previous centroid
+// (its radius collapses to zero and the search loop skips empty cells).
+func kmeans(rows *vecmath.Matrix, k, iters int, seed int64) (*vecmath.Matrix, []int32) {
+	n, d := rows.Rows, rows.Cols
+	centroids := vecmath.NewMatrix(k, d)
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	for c := 0; c < k; c++ {
+		copy(centroids.Row(c), rows.Row(perm[c]))
+	}
+
+	assign := make([]int32, n)
+	rowSq := make([]float64, n)
+	for o := 0; o < n; o++ {
+		var s float64
+		for _, v := range rows.Row(o) {
+			s += float64(v) * float64(v)
+		}
+		rowSq[o] = s
+	}
+	cenSq := make([]float64, k)
+	sums := make([]float64, k*d)
+	counts := make([]int64, k)
+	dots := vecmath.NewMatrix(kmeansChunkRows, k)
+
+	for it := 0; it < iters; it++ {
+		for c := 0; c < k; c++ {
+			var s float64
+			for _, v := range centroids.Row(c) {
+				s += float64(v) * float64(v)
+			}
+			cenSq[c] = s
+		}
+		// Assignment: argmin ‖e−c‖² = ‖e‖² − 2e·c + ‖c‖², with the e·c terms
+		// of a whole chunk computed as one tiled matrix–matrix product.
+		for lo := 0; lo < n; lo += kmeansChunkRows {
+			hi := lo + kmeansChunkRows
+			if hi > n {
+				hi = n
+			}
+			chunk := &vecmath.Matrix{Rows: hi - lo, Cols: d, Data: rows.Data[lo*d : hi*d]}
+			dm := &vecmath.Matrix{Rows: hi - lo, Cols: k, Data: dots.Data[:(hi-lo)*k]}
+			vecmath.MatMat(dm, centroids, chunk)
+			for o := lo; o < hi; o++ {
+				dr := dm.Row(o - lo)
+				best, bestDist := int32(0), rowSq[o]-2*float64(dr[0])+cenSq[0]
+				for c := 1; c < k; c++ {
+					dist := rowSq[o] - 2*float64(dr[c]) + cenSq[c]
+					if dist < bestDist {
+						best, bestDist = int32(c), dist
+					}
+				}
+				assign[o] = best
+			}
+		}
+		// Update.
+		for i := range sums {
+			sums[i] = 0
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		for o := 0; o < n; o++ {
+			c := int(assign[o])
+			counts[c]++
+			base := c * d
+			row := rows.Row(o)
+			for j := 0; j < d; j++ {
+				sums[base+j] += float64(row[j])
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			cen := centroids.Row(c)
+			base := c * d
+			inv := 1 / float64(counts[c])
+			for j := 0; j < d; j++ {
+				cen[j] = float32(sums[base+j] * inv)
+			}
+		}
+	}
+
+	// Final assignment against the last centroid update, so the stored radii
+	// and memberships describe the centroids actually persisted.
+	for c := 0; c < k; c++ {
+		var s float64
+		for _, v := range centroids.Row(c) {
+			s += float64(v) * float64(v)
+		}
+		cenSq[c] = s
+	}
+	for lo := 0; lo < n; lo += kmeansChunkRows {
+		hi := lo + kmeansChunkRows
+		if hi > n {
+			hi = n
+		}
+		chunk := &vecmath.Matrix{Rows: hi - lo, Cols: d, Data: rows.Data[lo*d : hi*d]}
+		dm := &vecmath.Matrix{Rows: hi - lo, Cols: k, Data: dots.Data[:(hi-lo)*k]}
+		vecmath.MatMat(dm, centroids, chunk)
+		for o := lo; o < hi; o++ {
+			dr := dm.Row(o - lo)
+			best, bestDist := int32(0), rowSq[o]-2*float64(dr[0])+cenSq[0]
+			for c := 1; c < k; c++ {
+				dist := rowSq[o] - 2*float64(dr[c]) + cenSq[c]
+				if dist < bestDist {
+					best, bestDist = int32(c), dist
+				}
+			}
+			assign[o] = best
+		}
+	}
+	return centroids, assign
+}

@@ -329,12 +329,14 @@ func (s *Server) runDiscover(strategy core.Strategy, relations []kg.RelationID, 
 
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
-	res, err := s.discover(ctx, s.model, s.ds.Train, strategy, core.Options{
+	opts := core.Options{
 		TopN:          req.TopN,
 		MaxCandidates: req.MaxCandidates,
 		Relations:     relations,
 		Seed:          req.Seed,
-	})
+	}
+	s.applyPruneOptions(&opts)
+	res, err := s.discover(ctx, s.model, s.ds.Train, strategy, opts)
 	if err != nil {
 		return nil, err
 	}

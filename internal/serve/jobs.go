@@ -132,16 +132,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		relations = append(relations, kg.RelationID(rid))
 	}
 
+	opts := core.Options{
+		TopN:          req.TopN,
+		MaxCandidates: req.MaxCandidates,
+		Relations:     relations,
+		Seed:          req.Seed,
+	}
+	s.applyPruneOptions(&opts)
 	job, err := s.jobs.Submit(jobs.Spec{
 		Model:    s.model,
 		Graph:    s.ds.Train,
 		Strategy: strategy,
-		Options: core.Options{
-			TopN:          req.TopN,
-			MaxCandidates: req.MaxCandidates,
-			Relations:     relations,
-			Seed:          req.Seed,
-		},
+		Options:  opts,
 		Fingerprint: s.fingerprint,
 		Label:       "discover strategy=" + req.Strategy,
 	})

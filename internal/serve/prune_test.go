@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// runtimeMS matches the one wall-clock field in a /discover response; it is
+// the only part of the body that may legitimately differ between two runs.
+var runtimeMS = regexp.MustCompile(`"runtime_ms":\d+`)
+
+// TestServePrunedDiscoverIdentical: a server configured with -prune=exact
+// must serve byte-identical /discover responses to a dense server over the
+// same weights — the HTTP layer inherits the kernel-level identity claim.
+// Byte identity covers everything deterministic (facts, ranks, mrr, total);
+// runtime_ms is masked before comparing.
+func TestServePrunedDiscoverIdentical(t *testing.T) {
+	dense := newTestServer(t, nil)
+	pruned := newTestServer(t, func(c *Config) { c.PruneMode = core.PruneExact })
+	if pruned.pruneIndex == nil {
+		t.Fatal("exact-mode server built no prune index")
+	}
+
+	body := map[string]any{"top_n": 5, "max_candidates": 60, "seed": 21}
+	recDense, _ := doReq(t, dense.Handler(), "POST", "/discover", body)
+	recPruned, _ := doReq(t, pruned.Handler(), "POST", "/discover", body)
+	if recDense.Code != http.StatusOK || recPruned.Code != http.StatusOK {
+		t.Fatalf("discover codes: dense %d, pruned %d", recDense.Code, recPruned.Code)
+	}
+	denseBody := runtimeMS.ReplaceAllString(recDense.Body.String(), `"runtime_ms":0`)
+	prunedBody := runtimeMS.ReplaceAllString(recPruned.Body.String(), `"runtime_ms":0`)
+	if denseBody != prunedBody {
+		t.Errorf("pruned /discover body differs from dense:\ndense:  %s\npruned: %s",
+			denseBody, prunedBody)
+	}
+
+	// The pruned sweep must surface in /metrics. On an 80-entity model the
+	// cell bounds are loose enough that the early break (cells_pruned) may
+	// never fire, but every visited cell with a full frontier runs the int8
+	// prescreen, so that counter must move.
+	scrape := httptest.NewRecorder()
+	pruned.Handler().ServeHTTP(scrape, httptest.NewRequest("GET", "/metrics", nil))
+	out := scrape.Body.String()
+	for _, name := range []string{
+		"kgserve_ranking_pruned_cells_total",
+		"kgserve_ranking_pruned_prescreen_rows_total",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("metrics output missing %s", name)
+		}
+	}
+	if strings.Contains(out, "kgserve_ranking_pruned_prescreen_rows_total 0\n") {
+		t.Error("kgserve_ranking_pruned_prescreen_rows_total still zero after a pruned sweep")
+	}
+}
+
+// TestServePrunedJob runs an async job on a pruning server and checks the
+// job-side Options injection: the run completes and its prune counters reach
+// /metrics through the manager's observeDiscovery forwarding.
+func TestServePrunedJob(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.PruneMode = core.PruneExact })
+	h := srv.Handler()
+
+	rec, out := doReq(t, h, "POST", "/jobs", map[string]any{
+		"top_n": 5, "max_candidates": 60, "seed": 21,
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: code %d body %v", rec.Code, out)
+	}
+	id, _ := out["id"].(string)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec, out = doReq(t, h, "GET", "/jobs/"+id, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: code %d body %v", id, rec.Code, out)
+		}
+		if st, _ := out["state"].(string); st == "done" {
+			break
+		} else if st == "failed" || st == "cancelled" {
+			t.Fatalf("job ended in state %q: %v", st, out)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not complete in time: %v", id, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	scrape := httptest.NewRecorder()
+	h.ServeHTTP(scrape, httptest.NewRequest("GET", "/metrics", nil))
+	if strings.Contains(scrape.Body.String(), "kgserve_ranking_pruned_prescreen_rows_total 0\n") {
+		t.Error("pruned job left kgserve_ranking_pruned_prescreen_rows_total at zero")
+	}
+}
+
+// TestServePruneSidecar: with PruneIndexPath set, startup persists the index
+// sidecar so the next process skips the k-means build.
+func TestServePruneSidecar(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.kge.ivf")
+	newTestServer(t, func(c *Config) {
+		c.PruneMode = core.PruneApprox
+		c.PruneIndexPath = path
+	})
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("sidecar not persisted: %v", err)
+	}
+	// Second construction must accept (and reuse) the sidecar it just wrote.
+	srv2 := newTestServer(t, func(c *Config) {
+		c.PruneMode = core.PruneApprox
+		c.PruneIndexPath = path
+	})
+	if srv2.pruneIndex == nil {
+		t.Fatal("second server built no prune index from sidecar")
+	}
+}
+
+func TestServePruneModeValidation(t *testing.T) {
+	ds, m := testModel(t)
+	if _, err := New(ds, m, Config{PruneMode: "sometimes"}); err == nil {
+		t.Fatal("bogus prune mode accepted")
+	}
+	// "off" must be equivalent to the zero value.
+	srv, err := New(ds, m, Config{PruneMode: core.PruneOff})
+	if err != nil {
+		t.Fatalf("PruneMode off: %v", err)
+	}
+	defer srv.Close()
+	if srv.pruneIndex != nil {
+		t.Error("off-mode server built a prune index")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/kg"
 	"repro/internal/kge"
+	"repro/internal/prune"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -84,6 +85,21 @@ type Config struct {
 	// default: the profiling endpoints expose stacks and heap contents, so
 	// they are opt-in (kgserve -pprof) rather than always-on.
 	EnablePprof bool
+	// PruneMode selects the pruned ranking path for every discovery sweep
+	// the server runs (synchronous /discover and async jobs): "" or "off"
+	// (dense sweeps, the default), "exact" (byte-identical output), or
+	// "approx" (see core.Options.PruneMode). With pruning enabled the index
+	// is loaded from PruneIndexPath or built once at startup.
+	PruneMode string
+	// PruneCells overrides the prune index cell count; 0 means ⌈√|E|⌉.
+	PruneCells int
+	// PruneProbe caps cells visited per query in approx mode; ≤ 0 picks
+	// ⌈cells/8⌉.
+	PruneProbe int
+	// PruneIndexPath, when set with pruning enabled, persists the prune
+	// index sidecar there (and reuses it across restarts when it still
+	// matches the weights). Empty builds in memory each startup.
+	PruneIndexPath string
 }
 
 func (c *Config) setDefaults() {
@@ -123,6 +139,7 @@ type Server struct {
 	ranker      *eval.Ranker
 	calibrator  *eval.PlattCalibrator // nil when no validation split exists
 	fingerprint string                // kge.Fingerprint of the loaded weights
+	pruneIndex  *prune.Index          // non-nil iff cfg.PruneMode enables pruning
 
 	cfg         Config
 	cache       *lruCache
@@ -152,6 +169,33 @@ func New(ds *kg.Dataset, model kge.Trainable, cfg Config) (*Server, error) {
 		metrics:     newMetrics(),
 		discoverSem: make(chan struct{}, cfg.MaxDiscover),
 		discover:    core.DiscoverFacts,
+	}
+	switch cfg.PruneMode {
+	case "", core.PruneOff:
+		// Dense sweeps; no index.
+	case core.PruneExact, core.PruneApprox:
+		sw, ok := model.(kge.ObjectSweeper)
+		if !ok {
+			return nil, fmt.Errorf("serve: prune mode %q requires a sweepable model, %T is not", cfg.PruneMode, model)
+		}
+		// One index serves every request: DiscoverFacts sees a prebuilt
+		// PruneIndex and skips its own per-call build. LoadOrBuild falls back
+		// to an in-memory build on any sidecar problem, so startup only fails
+		// on a truly unusable model/parameter combination.
+		ix, loaded, err := prune.LoadOrBuild(cfg.PruneIndexPath, sw, s.fingerprint, prune.Params{Cells: cfg.PruneCells})
+		if err != nil {
+			return nil, fmt.Errorf("serve: building prune index: %w", err)
+		}
+		if cfg.PruneIndexPath != "" {
+			verb := "built"
+			if loaded {
+				verb = "loaded"
+			}
+			cfg.Logger.Printf("kgserve: %s prune index (%d cells) for sidecar %s", verb, ix.Cells(), cfg.PruneIndexPath)
+		}
+		s.pruneIndex = ix
+	default:
+		return nil, fmt.Errorf("serve: unknown prune mode %q (want off, exact, or approx)", cfg.PruneMode)
 	}
 	s.cache = newLRUCache(cfg.CacheSize, s.metrics.incEviction)
 	// The forwarding closure reads s.discover at call time, so tests that
@@ -190,6 +234,18 @@ func Load(dataDir, modelPath string, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	return New(ds, m, cfg)
+}
+
+// applyPruneOptions copies the server's pruning configuration into one
+// discovery run's options. The prebuilt index keeps DiscoverFacts from
+// re-clustering the entity table on every request.
+func (s *Server) applyPruneOptions(opts *core.Options) {
+	if s.pruneIndex == nil {
+		return
+	}
+	opts.PruneMode = s.cfg.PruneMode
+	opts.PruneProbe = s.cfg.PruneProbe
+	opts.PruneIndex = s.pruneIndex
 }
 
 // Fingerprint returns the canonical weight digest the response cache is

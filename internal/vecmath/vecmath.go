@@ -263,6 +263,25 @@ func MatVec(dst []float32, m *Matrix, x []float32) []float32 {
 	return dst
 }
 
+// MatVecRange is MatVec restricted to rows [lo, hi): dst[i] = M.Row(i)·x for
+// i in the range (other dst entries are untouched; dst must still have
+// length ≥ hi). It is the rescoring kernel of pruned ranking
+// (internal/prune), which scores only the aligned 4-row blocks containing
+// shortlisted entities.
+//
+// Bit-identity contract: when lo is a multiple of 4 and hi is either a
+// multiple of 4 or equal to M.Rows, every dst[i] is bit-identical to the
+// whole-matrix MatVec — the 4-row blocks (and the final Dot tail, when
+// hi == M.Rows) land on exactly the row indices a full sweep uses, with the
+// same accumulation order. MatMat's tiling and prune's block rescoring both
+// rely on this.
+func MatVecRange(dst []float32, m *Matrix, x []float32, lo, hi int) {
+	if len(x) != m.Cols || lo < 0 || hi > m.Rows || len(dst) < hi {
+		panic("vecmath: MatVecRange dimension mismatch")
+	}
+	matVecRange(dst, m, x, lo, hi)
+}
+
 // matVecRange is MatVec restricted to rows [lo, hi): dst[i] = M.Row(i)·x for
 // i in the range. When lo is a multiple of 4 the per-row accumulation is the
 // same as a whole-matrix MatVec — the 4-row blocks land on the same row

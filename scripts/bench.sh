@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Perf trajectory: run the score-sweep kernels (MatVec/MatMat) and the
-# batched-ranking ablation, then emit results/BENCH_5.json with one record
-# per benchmark op: {"op", "ns_per_op", "mb_per_s"}. mb_per_s is 0 for
-# benchmarks that do not report throughput (the ablation measures wall-clock
-# per ranking pass, not memory traffic).
+# Perf trajectory: run the score-sweep kernels (MatVec/MatMat), the
+# batched-ranking ablation, and the pruned-ranking ablation, then emit a
+# JSON report with provenance metadata and one record per benchmark op:
+#
+#   {"meta": {"commit", "gomaxprocs", "cpu"},
+#    "benchmarks": [{"op", "ns_per_op", "mb_per_s", "precision"}, ...]}
+#
+# mb_per_s is 0 for benchmarks that do not report throughput; precision is
+# only nonzero for the pruned-ranking approx sub-benchmarks (it measures the
+# approx keep set against the dense keep set — recall is 1.0 by construction,
+# see DESIGN.md §10).
 #
 #   scripts/bench.sh [output.json]
 #
@@ -13,36 +19,50 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-results/BENCH_5.json}"
+out="${1:-results/BENCH_6.json}"
 benchtime="${BENCHTIME:-3x}"
 raw="$(mktemp)"
 trap 'rm -rf "$raw"' EXIT
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+gomaxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+if [ -n "${GOMAXPROCS:-}" ]; then
+  gomaxprocs="$GOMAXPROCS"
+fi
+cpu="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)"
+cpu="${cpu:-unknown}"
 
 echo "== kernel benchmarks (internal/vecmath) =="
 go test -run '^$' -bench 'BenchmarkMatVec|BenchmarkMatMat' \
   -benchtime "$benchtime" ./internal/vecmath | tee -a "$raw"
 
-echo "== ranking ablation (repo root) =="
-go test -run '^$' -bench 'BenchmarkAblationBatchedRanking' \
+echo "== ranking ablations (repo root) =="
+go test -run '^$' -bench 'BenchmarkAblationBatchedRanking|BenchmarkPrunedRanking' \
   -benchtime "$benchtime" . | tee -a "$raw"
 
-# Benchmark lines look like either of:
+# Benchmark lines look like any of:
 #   BenchmarkMatMat/d=64/q=8-8    100    12345 ns/op    9876.54 MB/s
 #   BenchmarkAblationBatchedRanking/batched/500-8    3    57410274 ns/op
-awk '
+#   BenchmarkPrunedRanking/d=64/top_n=100/approx-8   3    3128713 ns/op    1.000 precision
+awk -v commit="$commit" -v gomaxprocs="$gomaxprocs" -v cpu="$cpu" '
   /^Benchmark/ && / ns\/op/ {
     op = $1
     sub(/-[0-9]+$/, "", op)          # strip the -GOMAXPROCS suffix
-    ns = 0; mb = 0
+    ns = 0; mb = 0; prec = 0
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op") ns = $(i - 1)
       if ($i == "MB/s") mb = $(i - 1)
+      if ($i == "precision") prec = $(i - 1)
     }
     if (n++) printf ",\n"
-    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s}", op, ns, mb
+    printf "    {\"op\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"precision\": %s}", op, ns, mb, prec
   }
-  BEGIN { printf "[\n" }
-  END   { printf "\n]\n" }
+  BEGIN {
+    printf "{\n"
+    printf "  \"meta\": {\"commit\": \"%s\", \"gomaxprocs\": %s, \"cpu\": \"%s\"},\n", commit, gomaxprocs, cpu
+    printf "  \"benchmarks\": [\n"
+  }
+  END   { printf "\n  ]\n}\n" }
 ' "$raw" >"$out"
 
 n="$(grep -c '"op"' "$out" || true)"

@@ -88,6 +88,57 @@ for m in transe distmult complex rescal hole conve; do
 done
 echo "byte-identity gate: 6 models x 2 protocols, batched == grouped"
 
+echo "== pruned-ranking byte-identity gate =="
+# -prune=exact is a search-order change over provable score bounds, not a
+# numerical one: every model × protocol must discover byte-identical TSVs
+# with pruning on and off. Reuses the models trained above. top_n is small
+# (20) on purpose — the tiny CI dataset has |E| = 80, and a larger top_n
+# would make the frontier M ≥ |E|, forcing the per-group dense fallback
+# everywhere and leaving the pruned path untested.
+for m in transe distmult complex rescal hole conve; do
+  for filt in false true; do
+    for p in off exact; do
+      "$tmp/kgdiscover" -data "$tmp/data" -model "$tmp/ident-$m.kge" \
+        -strategy graph_degree -top_n 20 -max_candidates 200 -seed 3 \
+        -limit 0 -rank_filtered="$filt" -prune="$p" \
+        -out "$tmp/prune-$m-$filt-$p.tsv" >/dev/null
+    done
+    if ! cmp -s "$tmp/prune-$m-$filt-off.tsv" "$tmp/prune-$m-$filt-exact.tsv"; then
+      echo "pruned byte-identity gate FAILED: $m (rank_filtered=$filt) exact and off TSVs differ" >&2
+      exit 1
+    fi
+  done
+done
+echo "pruned byte-identity gate: 6 models x 2 protocols, -prune=exact == -prune=off"
+
+echo "== pruning WAL-compat gate =="
+# Checkpoints written with pruning off (including every journal that
+# predates the prune layer — the OptionsHash golden test pins that digest)
+# must resume under default flags, and must NOT resume under -prune=exact:
+# pruned and dense runs are different run identities even though their
+# outputs agree, because approx mode would not be.
+waldisc() {
+  "$tmp/kgdiscover" -data "$tmp/data" -model "$tmp/ident-distmult.kge" \
+    -strategy graph_degree -top_n 20 -max_candidates 200 -seed 3 -limit 0 "$@"
+}
+waldisc -out "$tmp/walfull.tsv" >/dev/null
+waldisc -checkpoint "$tmp/compat.wal" >/dev/null
+waldisc -checkpoint "$tmp/compat.wal" -resume -out "$tmp/walresumed.tsv" >/dev/null
+if ! cmp -s "$tmp/walfull.tsv" "$tmp/walresumed.tsv"; then
+  echo "WAL-compat gate FAILED: resume with pruning off changed the output" >&2
+  exit 1
+fi
+if waldisc -checkpoint "$tmp/compat.wal" -resume -prune=exact >"$tmp/walprune.log" 2>&1; then
+  echo "WAL-compat gate FAILED: a pruning-off checkpoint resumed under -prune=exact" >&2
+  exit 1
+fi
+if ! grep -q "options" "$tmp/walprune.log"; then
+  echo "WAL-compat gate FAILED: expected an options-mismatch refusal, got:" >&2
+  cat "$tmp/walprune.log" >&2
+  exit 1
+fi
+echo "WAL-compat gate: pruning-off checkpoint resumes clean, -prune=exact resume refused"
+
 echo "== kgserve end-to-end smoke =="
 # Boot the real server binary on a random port over a tiny dataset, check
 # health, discover the same facts twice (the second answer must come from
