@@ -84,9 +84,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, err := kge.LoadFile(*modelPath)
+	m, mapped, _, err := kge.LoadAuto(*modelPath)
 	if err != nil {
 		return err
+	}
+	if mapped != nil {
+		defer mapped.Close()
 	}
 	strategy, err := core.StrategyByName(*stratName)
 	if err != nil {

@@ -45,9 +45,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, err := kge.LoadFile(*modelPath)
+	m, mapped, _, err := kge.LoadAuto(*modelPath)
 	if err != nil {
 		return err
+	}
+	if mapped != nil {
+		defer mapped.Close()
 	}
 	if m.NumEntities() < ds.Train.Entities.Len() {
 		return fmt.Errorf("model covers %d entities, dataset has %d", m.NumEntities(), ds.Train.Entities.Len())

@@ -27,6 +27,17 @@
 //
 // With -job-dir each async job journals completed relations to a WAL there,
 // so resubmitting after a crash resumes instead of restarting.
+//
+// The server hosts any number of models over one dataset (flat checkpoints
+// are memory-mapped, so N models cost N× page-cache residency, not N× heap).
+// Load extras at startup with -models, or manage them live:
+//
+//	GET    /models      every loaded model, by weight fingerprint
+//	POST   /models      {"path":"b.kgf","default":false} load a checkpoint
+//	DELETE /models/{fp} unload (in-flight requests drain first)
+//
+// Request bodies accept an optional "model" field — a fingerprint or unique
+// prefix — to route /score, /rank, /query, /discover, and /jobs per model.
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,7 +69,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("kgserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dataDir := fs.String("data", "", "dataset directory (required)")
-	modelPath := fs.String("model", "", "model checkpoint (required)")
+	modelPath := fs.String("model", "", "default model checkpoint, gob or flat (required)")
+	extraModels := fs.String("models", "", "comma-separated additional checkpoints to serve alongside the default (route with the request's \"model\" fingerprint selector)")
 	addr := fs.String("addr", ":8080", "listen address")
 	maxDiscover := fs.Int("max-discover", 4, "max concurrent /discover executions (excess requests get 429)")
 	cacheSize := fs.Int("cache-size", 256, "response cache capacity in entries (negative disables caching)")
@@ -107,6 +120,17 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *extraModels != "" {
+		for _, path := range strings.Split(*extraModels, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			if _, err := srv.LoadModelFile(path, false); err != nil {
+				return fmt.Errorf("-models %s: %w", path, err)
+			}
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)

@@ -44,6 +44,7 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "random seed")
 		workers    = fs.Int("workers", 0, "gradient-computation goroutines (0 = GOMAXPROCS); any value yields bit-identical checkpoints")
 		out        = fs.String("out", "model.kge", "checkpoint output path")
+		format     = fs.String("format", "gob", "checkpoint format: gob (legacy) or flat (mmap-able, served zero-copy)")
 		patience   = fs.Int("patience", 0, "early-stopping patience in evals (0 = off)")
 		evalEach   = fs.Int("eval_every", 5, "epochs between validation evaluations")
 		quiet      = fs.Bool("quiet", false, "suppress per-epoch progress")
@@ -55,6 +56,9 @@ func run(args []string) error {
 	}
 	if *dataDir == "" {
 		return fmt.Errorf("-data is required")
+	}
+	if *format != "gob" && *format != "flat" {
+		return fmt.Errorf("unknown -format %q (want gob or flat)", *format)
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -141,9 +145,17 @@ func run(args []string) error {
 	fmt.Printf("test MRR %.4f  MR %.1f  Hits@1 %.3f  Hits@3 %.3f  Hits@10 %.3f\n",
 		res.MRR, res.MeanRank, res.Hits[1], res.Hits[3], res.Hits[10])
 
-	if err := kge.SaveFile(m, *out); err != nil {
+	switch *format {
+	case "gob":
+		err = kge.SaveFile(m, *out)
+	case "flat":
+		err = kge.SaveFlatFile(m, *out)
+	default:
+		return fmt.Errorf("unknown -format %q (want gob or flat)", *format)
+	}
+	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote checkpoint %s (sha256 %s)\n", *out, kge.Fingerprint(m))
+	fmt.Printf("wrote %s checkpoint %s (sha256 %s)\n", *format, *out, kge.Fingerprint(m))
 	return nil
 }

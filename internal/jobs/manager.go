@@ -369,6 +369,9 @@ func (m *Manager) execute(j *Job) {
 		j.finished = m.cfg.Now()
 		j.mu.Unlock()
 		m.bumpCounter(StateCancelled)
+		if j.spec.OnFinish != nil {
+			j.spec.OnFinish(StateCancelled)
+		}
 		return
 	}
 	j.state = StateRunning
@@ -408,6 +411,9 @@ func (m *Manager) execute(j *Job) {
 	j.state = final
 	j.mu.Unlock()
 	m.bumpCounter(final)
+	if j.spec.OnFinish != nil {
+		j.spec.OnFinish(final)
+	}
 }
 
 func (m *Manager) bumpCounter(s State) {

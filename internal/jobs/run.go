@@ -40,6 +40,12 @@ type Spec struct {
 	// OnProgress, when non-nil, is called after each relation completes
 	// (journaled relations recovered during resume do not replay it).
 	OnProgress func(Progress)
+	// OnFinish, when non-nil, is called exactly once when the job reaches a
+	// terminal state (done, failed, or cancelled — including jobs cancelled
+	// while still queued). Manager.Close drains the queue, so every accepted
+	// job fires it. Callers use it to release resources the job pinned, e.g.
+	// the serving layer's refcount on a memory-mapped model.
+	OnFinish func(State)
 }
 
 // Progress is one per-relation progress tick.

@@ -27,6 +27,9 @@ func NewComplEx(cfg Config) (*ComplEx, error) {
 	m := &ComplEx{cfg: cfg, ps: NewParamSet()}
 	m.ent = m.ps.Add("entity", cfg.NumEntities, 2*cfg.Dim)
 	m.rel = m.ps.Add("relation", cfg.NumRelations, 2*cfg.Dim)
+	if cfg.skipInit {
+		return m, nil
+	}
 	rng := initRNG(cfg)
 	for i := 0; i < cfg.NumEntities; i++ {
 		vecmath.XavierInit(rng, m.ent.M.Row(i), 2*cfg.Dim, 2*cfg.Dim)

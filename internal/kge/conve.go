@@ -79,6 +79,9 @@ func NewConvE(cfg Config) (*ConvE, error) {
 	m.fcB = m.ps.Add("fcbias", 1, cfg.Dim)
 	m.entBias = m.ps.Add("entbias", cfg.NumEntities, 1)
 
+	if cfg.skipInit {
+		return m, nil
+	}
 	rng := initRNG(cfg)
 	for i := 0; i < cfg.NumEntities; i++ {
 		vecmath.XavierInit(rng, m.ent.M.Row(i), cfg.Dim, cfg.Dim)

@@ -21,6 +21,9 @@ func NewDistMult(cfg Config) (*DistMult, error) {
 	m := &DistMult{cfg: cfg, ps: NewParamSet()}
 	m.ent = m.ps.Add("entity", cfg.NumEntities, cfg.Dim)
 	m.rel = m.ps.Add("relation", cfg.NumRelations, cfg.Dim)
+	if cfg.skipInit {
+		return m, nil
+	}
 	rng := initRNG(cfg)
 	for i := 0; i < cfg.NumEntities; i++ {
 		vecmath.XavierInit(rng, m.ent.M.Row(i), cfg.Dim, cfg.Dim)

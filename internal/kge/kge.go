@@ -214,6 +214,14 @@ type Config struct {
 	ConvEHeight  int
 	ConvEWidth   int
 	ConvEFilters int
+
+	// skipInit skips the random parameter initialization in the
+	// constructors, leaving every table zeroed. Only checkpoint loaders set
+	// it (the loaded weights overwrite — or, for mmap-backed checkpoints,
+	// replace — the tables anyway, so initializing them is pure wasted
+	// work). Unexported on purpose: it is invisible to gob and callers
+	// outside the package, so a snapshot's Config can never carry it.
+	skipInit bool
 }
 
 func (c Config) validate() error {

@@ -10,6 +10,8 @@ import (
 	"math"
 	"os"
 	"sort"
+
+	"repro/internal/fsio"
 )
 
 // paramRecord is one parameter table in the canonical wire format.
@@ -160,17 +162,12 @@ func Fingerprint(m Trainable) string {
 // retrained weights is detected and rebuilt rather than trusted.
 func SidecarPath(modelPath string) string { return modelPath + ".ivf" }
 
-// SaveFile writes the model to path, creating or truncating it.
+// SaveFile writes the model to path with the durable-write discipline
+// shared by every checkpoint artifact (internal/fsio): unique temp file,
+// file fsync, atomic rename, directory fsync. A crash at any point leaves
+// either the previous checkpoint or the complete new one, never a torn file.
 func SaveFile(m Trainable, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Save(m, f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsio.WriteAtomic(path, func(f *os.File) error { return Save(m, f) })
 }
 
 // LoadFile reads a model from path.
@@ -185,6 +182,12 @@ func LoadFile(path string) (Trainable, error) {
 
 // configOf recovers the constructor Config from a live model.
 func configOf(m Trainable) (Config, error) {
+	if mm, ok := m.(*Mapped); ok {
+		// Unwrap mmap-backed models so they snapshot like any other (the
+		// embedded model carries the real Config; skipInit is unexported and
+		// zero-valued on reconstruction, so it never leaks into a save).
+		return configOf(mm.Trainable)
+	}
 	switch t := m.(type) {
 	case *TransE:
 		return t.cfg, nil

@@ -22,6 +22,9 @@ func NewRESCAL(cfg Config) (*RESCAL, error) {
 	m := &RESCAL{cfg: cfg, ps: NewParamSet()}
 	m.ent = m.ps.Add("entity", cfg.NumEntities, cfg.Dim)
 	m.rel = m.ps.Add("relation", cfg.NumRelations, cfg.Dim*cfg.Dim)
+	if cfg.skipInit {
+		return m, nil
+	}
 	rng := initRNG(cfg)
 	for i := 0; i < cfg.NumEntities; i++ {
 		vecmath.XavierInit(rng, m.ent.M.Row(i), cfg.Dim, cfg.Dim)

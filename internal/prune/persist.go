@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/fsio"
 	"repro/internal/kge"
 	"repro/internal/vecmath"
 )
@@ -185,24 +186,13 @@ func (ix *Index) validate() error {
 	return nil
 }
 
-// SaveFile writes the index to path atomically (temp file + rename), so a
-// crash mid-write never leaves a truncated sidecar in place.
+// SaveFile writes the index to path with the shared durable-write discipline
+// (internal/fsio): unique temp file, file fsync, atomic rename, directory
+// fsync. The unique temp name makes concurrent savers of the same path safe
+// (last rename wins with a complete file), and the fsyncs ensure a crash
+// shortly after SaveFile returns cannot resurrect a stale or empty sidecar.
 func (ix *Index) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := ix.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return fsio.WriteAtomic(path, func(f *os.File) error { return ix.Save(f) })
 }
 
 // LoadFile reads an index from path.
@@ -217,23 +207,35 @@ func LoadFile(path string) (*Index, error) {
 
 // LoadOrBuild returns a usable index for sw: the sidecar at path when it
 // exists, parses, and matches the model's fingerprint, shape, and requested
-// cell count; otherwise a fresh Build, best-effort persisted back to path.
-// loaded reports whether the sidecar was reused. A missing, corrupt, or
-// stale sidecar is never an error — it is simply rebuilt — so callers need
-// no cleanup logic when weights are retrained in place.
+// cell count; otherwise a fresh Build. loaded reports whether the sidecar was
+// reused. A missing, corrupt, or stale sidecar is never an error — it is
+// simply rebuilt — so callers need no cleanup logic when weights are
+// retrained in place.
+//
+// Persistence is deliberately asymmetric. A rebuild caused by a missing or
+// invalid sidecar is written back to path (best effort); a rebuild caused
+// only by a cell-count mismatch is NOT. Two processes serving the same
+// checkpoint with different Cells settings would otherwise overwrite each
+// other's sidecar on every start — an unbounded rebuild/overwrite thrash in
+// which neither process ever loads from disk. Instead the on-disk sidecar is
+// left alone whenever it is valid for the model, and the differently-shaped
+// index lives only in memory.
 func LoadOrBuild(path string, sw kge.ObjectSweeper, fingerprint string, p Params) (ix *Index, loaded bool, err error) {
 	wantCells := p.withDefaults(sw.NumEntities()).Cells
+	diskValid := false
 	if path != "" {
-		if cached, lerr := LoadFile(path); lerr == nil &&
-			cached.Matches(sw, fingerprint) && cached.cells == wantCells {
-			return cached, true, nil
+		if cached, lerr := LoadFile(path); lerr == nil && cached.Matches(sw, fingerprint) {
+			if cached.cells == wantCells {
+				return cached, true, nil
+			}
+			diskValid = true
 		}
 	}
 	ix, err = Build(sw, fingerprint, p)
 	if err != nil {
 		return nil, false, err
 	}
-	if path != "" {
+	if path != "" && !diskValid {
 		// Best effort: a read-only checkpoint directory only costs a rebuild
 		// next run.
 		_ = ix.SaveFile(path)

@@ -1,0 +1,130 @@
+package prune
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSaveFileConcurrentSavers is the regression test for the fixed-temp-name
+// race: two concurrent SaveFile calls on the same path used to share
+// path+".tmp", so one saver could rename the other's half-written file into
+// place. With unique temp names the final sidecar must always be a complete,
+// loadable index.
+func TestSaveFileConcurrentSavers(t *testing.T) {
+	sw, fp := testModel(t, "distmult", 0, 97)
+	ixA, err := Build(sw, fp, Params{Cells: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixB, err := Build(sw, fp, Params{Cells: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.kge.ivf")
+
+	const rounds = 20
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := ixA.SaveFile(path); err != nil {
+				t.Errorf("saver A: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := ixB.SaveFile(path); err != nil {
+				t.Errorf("saver B: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("sidecar after concurrent saves is unloadable: %v", err)
+	}
+	if !reflect.DeepEqual(got, ixA) && !reflect.DeepEqual(got, ixB) {
+		t.Fatal("final sidecar is neither saver's complete index")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestLoadOrBuildCellsMismatchKeepsSidecar is the regression test for sidecar
+// thrash: when the on-disk sidecar is valid for the model but was built with
+// a different cell count, LoadOrBuild must build the requested shape in
+// memory WITHOUT overwriting the disk copy. Before the fix, two servers with
+// different Cells settings sharing one checkpoint rebuilt and clobbered the
+// sidecar on every start, and neither ever got a cache hit.
+func TestLoadOrBuildCellsMismatchKeepsSidecar(t *testing.T) {
+	sw, fp := testModel(t, "transe", 0, 101)
+	path := filepath.Join(t.TempDir(), "model.kge.ivf")
+
+	if _, _, err := LoadOrBuild(path, sw, fp, Params{Cells: 5}); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated second process asking for a different cell count.
+	ix9, loaded, err := LoadOrBuild(path, sw, fp, Params{Cells: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded {
+		t.Fatal("cells-mismatched sidecar reported as loaded")
+	}
+	if ix9.cells != 9 {
+		t.Fatalf("in-memory index has %d cells, want the requested 9", ix9.cells)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(onDisk) {
+		t.Fatal("cells mismatch overwrote a valid sidecar (thrash regression)")
+	}
+
+	// The original process still gets its cache hit.
+	_, loaded, err = LoadOrBuild(path, sw, fp, Params{Cells: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded {
+		t.Fatal("valid sidecar no longer loads after a cells-mismatched call")
+	}
+}
+
+// TestLoadOrBuildInvalidSidecarIsReplaced pins the asymmetry: an invalid
+// sidecar (corrupt, or stale fingerprint) IS overwritten by the rebuild, so
+// the no-overwrite rule above never preserves garbage.
+func TestLoadOrBuildInvalidSidecarIsReplaced(t *testing.T) {
+	sw, fp := testModel(t, "distmult", 0, 103)
+	path := filepath.Join(t.TempDir(), "model.kge.ivf")
+	if err := os.WriteFile(path, []byte("torn write debris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, loaded, err := LoadOrBuild(path, sw, fp, Params{Cells: 5}); err != nil || loaded {
+		t.Fatalf("corrupt sidecar: loaded=%v err=%v", loaded, err)
+	}
+	// The rebuild must have replaced the debris with a loadable sidecar.
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("rebuild did not persist over corrupt sidecar: %v", err)
+	}
+}

@@ -38,25 +38,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	m := s.ds.Metadata()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset":     m.Name,
-		"model":       s.model.Name(),
-		"dim":         s.model.Dim(),
-		"fingerprint": s.fingerprint,
-		"train":       m.Train,
-		"validation":  m.Validation,
-		"test":        m.Test,
-		"entities":    m.Entities,
-		"relations":   m.Relations,
-		"calibrated":  s.calibrator != nil,
-	})
+	resp := map[string]any{
+		"dataset":    m.Name,
+		"train":      m.Train,
+		"validation": m.Validation,
+		"test":       m.Test,
+		"entities":   m.Entities,
+		"relations":  m.Relations,
+	}
+	s.regMu.RLock()
+	resp["models"] = len(s.models)
+	s.regMu.RUnlock()
+	if sm := s.defaultModel(); sm != nil {
+		resp["model"] = sm.model.Name()
+		resp["dim"] = sm.model.Dim()
+		resp["fingerprint"] = sm.fingerprint
+		resp["calibrated"] = sm.calibrator != nil
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// tripleRequest names a triple by its dictionary labels.
+// tripleRequest names a triple by its dictionary labels. Model optionally
+// selects a registry entry by fingerprint (or unique prefix); empty routes
+// to the default model.
 type tripleRequest struct {
 	Subject  string `json:"subject"`
 	Relation string `json:"relation"`
 	Object   string `json:"object"`
+	Model    string `json:"model"`
 }
 
 // resolve maps the request names to IDs, reporting which name is unknown.
@@ -81,15 +90,21 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	sm, err := s.acquireModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer sm.release()
 	t, err := s.resolve(req)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	score := s.model.Score(t)
+	score := sm.model.Score(t)
 	resp := map[string]any{"score": score, "known": s.ds.All().Contains(t)}
-	if s.calibrator != nil {
-		resp["probability"] = s.calibrator.Prob(score)
+	if sm.calibrator != nil {
+		resp["probability"] = sm.calibrator.Prob(score)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -99,18 +114,25 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	sm, err := s.acquireModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer sm.release()
 	t, err := s.resolve(req)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"rank": s.ranker.RankObject(t)})
+	writeJSON(w, http.StatusOK, map[string]any{"rank": sm.ranker.RankObject(t)})
 }
 
 type queryRequest struct {
 	Subject  string `json:"subject"`
 	Relation string `json:"relation"`
 	K        int    `json:"k"`
+	Model    string `json:"model"`
 }
 
 type queryAnswer struct {
@@ -137,6 +159,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be non-negative, got %d", req.K)
 		return
 	}
+	sm, err := s.acquireModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer sm.release()
 	sid, ok := s.ds.Train.Entities.Lookup(req.Subject)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown subject %q", req.Subject)
@@ -151,10 +179,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if k == 0 {
 		k = 10
 	}
-	if k > s.model.NumEntities() {
-		k = s.model.NumEntities()
+	if k > sm.model.NumEntities() {
+		k = sm.model.NumEntities()
 	}
-	key := s.cacheKey("query", queryKey{S: kg.EntityID(sid), R: kg.RelationID(rid), K: k})
+	key := s.cacheKey("query", sm.fingerprint, queryKey{S: kg.EntityID(sid), R: kg.RelationID(rid), K: k})
 	if body, ok := s.cache.Get(key); ok {
 		s.metrics.incCacheHit()
 		w.Header().Set("X-Cache", "hit")
@@ -163,7 +191,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.incCacheMiss()
 	body, err, joined := s.flight.Do(key, func() ([]byte, error) {
-		b, err := s.runQuery(kg.EntityID(sid), kg.RelationID(rid), k)
+		b, err := s.runQuery(sm, kg.EntityID(sid), kg.RelationID(rid), k)
 		if err == nil {
 			s.cache.Add(key, b)
 		}
@@ -182,10 +210,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSONBody(w, http.StatusOK, body)
 }
 
-// runQuery performs one full object sweep for (s, r) and renders the top-k
-// answer body.
-func (s *Server) runQuery(sid kg.EntityID, rid kg.RelationID, k int) ([]byte, error) {
-	scores := s.model.ScoreAllObjects(sid, rid, make([]float32, s.model.NumEntities()))
+// runQuery performs one full object sweep for (s, r) against sm and renders
+// the top-k answer body. The caller holds a reference on sm for the
+// duration (single-flight waiters ride on the leader's reference).
+func (s *Server) runQuery(sm *servedModel, sid kg.EntityID, rid kg.RelationID, k int) ([]byte, error) {
+	scores := sm.model.ScoreAllObjects(sid, rid, make([]float32, sm.model.NumEntities()))
 	order := make([]int, len(scores))
 	for i := range order {
 		order[i] = i
@@ -211,6 +240,7 @@ type discoverRequest struct {
 	Relations     []string `json:"relations"`
 	Limit         int      `json:"limit"`
 	Seed          int64    `json:"seed"`
+	Model         string   `json:"model"`
 }
 
 // discoverKey is the canonicalized form of a discover request: the strategy
@@ -233,12 +263,12 @@ type discoveredFact struct {
 	Rank     int    `json:"rank"`
 }
 
-// cacheKey derives the response-cache key: endpoint, the canonical weight
-// fingerprint (so a model swap can never serve stale answers), and the
-// canonicalized request.
-func (s *Server) cacheKey(endpoint string, canonical any) string {
+// cacheKey derives the response-cache key: endpoint, the resolved model's
+// canonical weight fingerprint (so entries are namespaced per model and a
+// hot-swap can never serve stale answers), and the canonicalized request.
+func (s *Server) cacheKey(endpoint, fingerprint string, canonical any) string {
 	b, _ := json.Marshal(canonical)
-	return endpoint + "\x00" + s.fingerprint + "\x00" + string(b)
+	return endpoint + "\x00" + fingerprint + "\x00" + string(b)
 }
 
 func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
@@ -260,6 +290,12 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sm, err := s.acquireModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer sm.release()
 	var relations []kg.RelationID
 	for _, name := range req.Relations {
 		rid, ok := s.ds.Train.Relations.Lookup(name)
@@ -270,7 +306,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		relations = append(relations, kg.RelationID(rid))
 	}
 
-	key := s.cacheKey("discover", discoverKey{
+	key := s.cacheKey("discover", sm.fingerprint, discoverKey{
 		Strategy:      req.Strategy,
 		TopN:          req.TopN,
 		MaxCandidates: req.MaxCandidates,
@@ -286,7 +322,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.incCacheMiss()
 	body, err, joined := s.flight.Do(key, func() ([]byte, error) {
-		b, err := s.runDiscover(strategy, relations, req)
+		b, err := s.runDiscover(sm, strategy, relations, req)
 		if err == nil {
 			s.cache.Add(key, b)
 		}
@@ -313,12 +349,13 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// runDiscover executes one discovery sweep under the concurrency semaphore
-// and renders the response body. It runs on a server-scoped context (with
-// the same deadline as any request) rather than the leader request's
-// context, so a single client disconnect cannot cancel a sweep that other
-// coalesced requests are waiting on.
-func (s *Server) runDiscover(strategy core.Strategy, relations []kg.RelationID, req discoverRequest) ([]byte, error) {
+// runDiscover executes one discovery sweep against sm under the concurrency
+// semaphore and renders the response body. It runs on a server-scoped
+// context (with the same deadline as any request) rather than the leader
+// request's context, so a single client disconnect cannot cancel a sweep
+// that other coalesced requests are waiting on. The caller holds a
+// reference on sm for the duration.
+func (s *Server) runDiscover(sm *servedModel, strategy core.Strategy, relations []kg.RelationID, req discoverRequest) ([]byte, error) {
 	select {
 	case s.discoverSem <- struct{}{}:
 	default:
@@ -335,8 +372,8 @@ func (s *Server) runDiscover(strategy core.Strategy, relations []kg.RelationID, 
 		Relations:     relations,
 		Seed:          req.Seed,
 	}
-	s.applyPruneOptions(&opts)
-	res, err := s.discover(ctx, s.model, s.ds.Train, strategy, opts)
+	s.applyPruneOptions(sm, &opts)
+	res, err := s.discover(ctx, sm.model, s.ds.Train, strategy, opts)
 	if err != nil {
 		return nil, err
 	}

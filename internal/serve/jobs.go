@@ -122,10 +122,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The job holds a reference on the model for its whole (asynchronous)
+	// lifetime: OnFinish fires at the terminal state — including jobs
+	// cancelled while queued — so a model unloaded mid-job stays mapped
+	// until the sweep ends.
+	sm, err := s.acquireModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
 	var relations []kg.RelationID
 	for _, name := range req.Relations {
 		rid, ok := s.ds.Train.Relations.Lookup(name)
 		if !ok {
+			sm.release()
 			writeError(w, http.StatusNotFound, "unknown relation %q", name)
 			return
 		}
@@ -138,21 +148,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Relations:     relations,
 		Seed:          req.Seed,
 	}
-	s.applyPruneOptions(&opts)
+	s.applyPruneOptions(sm, &opts)
 	job, err := s.jobs.Submit(jobs.Spec{
-		Model:    s.model,
-		Graph:    s.ds.Train,
-		Strategy: strategy,
-		Options:  opts,
-		Fingerprint: s.fingerprint,
+		Model:       sm.model,
+		Graph:       s.ds.Train,
+		Strategy:    strategy,
+		Options:     opts,
+		Fingerprint: sm.fingerprint,
 		Label:       "discover strategy=" + req.Strategy,
+		OnFinish:    func(jobs.State) { sm.release() },
 	})
 	if err == jobs.ErrQueueFull {
+		sm.release()
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusTooManyRequests, "job queue is full, retry shortly")
 		return
 	}
 	if err != nil {
+		sm.release()
 		writeError(w, http.StatusInternalServerError, "submit failed: %v", err)
 		return
 	}

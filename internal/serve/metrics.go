@@ -35,6 +35,11 @@ type metrics struct {
 	mu     sync.Mutex
 	routes map[string]*routeStats
 
+	// modelRequests counts requests routed to each model, by fingerprint.
+	// Entries outlive unloads deliberately: counters are monotonic, and a
+	// reload of the same weights continues its series.
+	modelRequests map[string]uint64
+
 	cacheHits      uint64
 	cacheMisses    uint64
 	cacheEvictions uint64
@@ -52,7 +57,13 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{routes: make(map[string]*routeStats)}
+	return &metrics{routes: make(map[string]*routeStats), modelRequests: make(map[string]uint64)}
+}
+
+func (m *metrics) incModelRequest(fingerprint string) {
+	m.mu.Lock()
+	m.modelRequests[fingerprint]++
+	m.mu.Unlock()
 }
 
 // routeLocked returns the stats bucket for route, creating it on first use.
@@ -179,12 +190,40 @@ func (m *metrics) writeTo(w io.Writer) {
 	scalar("kgserve_ranking_batch_rows_total", "Query rows scored through batched passes; rows/dispatches is the amortization factor.", m.batchRows)
 	scalar("kgserve_ranking_pruned_cells_total", "IVF cells discarded by the pruned ranking path without visiting their members.", m.prunedCells)
 	scalar("kgserve_ranking_pruned_prescreen_rows_total", "Entity rows evaluated by the int8 prescreen filter inside visited cells.", m.prescreenRows)
+
+	fmt.Fprintln(w, "# HELP kgserve_model_requests_total Requests routed to each model, by weight fingerprint.")
+	fmt.Fprintln(w, "# TYPE kgserve_model_requests_total counter")
+	fps := make([]string, 0, len(m.modelRequests))
+	for fp := range m.modelRequests {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		fmt.Fprintf(w, "kgserve_model_requests_total{fingerprint=%q} %d\n", fp, m.modelRequests[fp])
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeTo(w)
+	s.writeModelMetrics(w)
 	s.writeJobMetrics(w)
+}
+
+// writeModelMetrics renders registry gauges from a live snapshot (the
+// registry is the source of truth for what is loaded; scraping must not
+// keep a second copy that can drift).
+func (s *Server) writeModelMetrics(w io.Writer) {
+	views := s.modelViews()
+	fmt.Fprintln(w, "# HELP kgserve_models Models currently loaded in the registry.")
+	fmt.Fprintln(w, "# TYPE kgserve_models gauge")
+	fmt.Fprintf(w, "kgserve_models %d\n", len(views))
+	fmt.Fprintln(w, "# HELP kgserve_model_info Loaded-model metadata; value is the checkpoint load time in seconds.")
+	fmt.Fprintln(w, "# TYPE kgserve_model_info gauge")
+	for _, v := range views {
+		fmt.Fprintf(w, "kgserve_model_info{fingerprint=%q,model=%q,format=%q,default=\"%t\"} %g\n",
+			v.Fingerprint, v.Model, v.Format, v.Default, v.LoadMS/1000)
+	}
 }
 
 // writeJobMetrics renders the async-job gauges and counters. They come from

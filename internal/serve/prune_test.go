@@ -25,7 +25,7 @@ var runtimeMS = regexp.MustCompile(`"runtime_ms":\d+`)
 func TestServePrunedDiscoverIdentical(t *testing.T) {
 	dense := newTestServer(t, nil)
 	pruned := newTestServer(t, func(c *Config) { c.PruneMode = core.PruneExact })
-	if pruned.pruneIndex == nil {
+	if pruned.defaultModel().pruneIndex == nil {
 		t.Fatal("exact-mode server built no prune index")
 	}
 
@@ -116,7 +116,7 @@ func TestServePruneSidecar(t *testing.T) {
 		c.PruneMode = core.PruneApprox
 		c.PruneIndexPath = path
 	})
-	if srv2.pruneIndex == nil {
+	if srv2.defaultModel().pruneIndex == nil {
 		t.Fatal("second server built no prune index from sidecar")
 	}
 }
@@ -132,7 +132,7 @@ func TestServePruneModeValidation(t *testing.T) {
 		t.Fatalf("PruneMode off: %v", err)
 	}
 	defer srv.Close()
-	if srv.pruneIndex != nil {
+	if srv.defaultModel().pruneIndex != nil {
 		t.Error("off-mode server built a prune index")
 	}
 }

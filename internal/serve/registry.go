@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/kge"
+	"repro/internal/prune"
+)
+
+// The multi-model registry. A Server hosts any number of models over one
+// shared dataset, keyed by canonical weight fingerprint (kge.Fingerprint).
+// Requests carry an optional "model" selector — a fingerprint or unique
+// fingerprint prefix — and fall back to the default model, so a single-model
+// deployment never has to mention fingerprints at all.
+//
+//	GET    /models      → every live model
+//	POST   /models      → load a checkpoint from disk ({"path": ..., "default": bool})
+//	DELETE /models/{fp} → unload (in-flight requests finish first)
+//
+// Unloading is refcounted rather than immediate: mmap-backed models
+// (kge.OpenMapped) alias kernel pages, so munmapping while a scoring sweep
+// reads the tables would fault the process. Every request path acquires the
+// model before touching weights and releases when done; DELETE retires the
+// entry (no new acquisitions) and the last release munmaps.
+
+// servedModel bundles one model's weights with the per-model derived
+// artifacts: ranker, calibrator, prune index, and load provenance.
+type servedModel struct {
+	model       kge.Trainable
+	mapped      *kge.Mapped // non-nil iff the weights alias an mmap'd checkpoint
+	ranker      *eval.Ranker
+	calibrator  *eval.PlattCalibrator // nil when no validation split exists
+	pruneIndex  *prune.Index          // non-nil iff cfg.PruneMode enables pruning
+	fingerprint string
+	format      string // "gob", "flat", or "memory" (constructed in process)
+	path        string // checkpoint path, "" for in-memory models
+	loadTime    time.Duration
+
+	mu      sync.Mutex
+	refs    int
+	retired bool
+}
+
+// release drops one reference; the last release of a retired model unmaps it.
+func (sm *servedModel) release() {
+	sm.mu.Lock()
+	sm.refs--
+	last := sm.retired && sm.refs == 0
+	sm.mu.Unlock()
+	if last && sm.mapped != nil {
+		sm.mapped.Close()
+	}
+}
+
+// retire marks the model unavailable for new acquisitions and unmaps it once
+// no request holds it. Callers must have already removed it from the registry
+// map (under the registry write lock), so no acquisition can race this.
+func (sm *servedModel) retire() {
+	sm.mu.Lock()
+	sm.retired = true
+	last := sm.refs == 0
+	sm.mu.Unlock()
+	if last && sm.mapped != nil {
+		sm.mapped.Close()
+	}
+}
+
+// acquireModel resolves a request's model selector to a live model and takes
+// a reference on it. The empty selector means the default model. The caller
+// must release() exactly once.
+func (s *Server) acquireModel(selector string) (*servedModel, error) {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	fp := selector
+	if fp == "" {
+		if s.defaultFP == "" {
+			return nil, fmt.Errorf("no default model is loaded (select one by fingerprint)")
+		}
+		fp = s.defaultFP
+	}
+	sm, ok := s.models[fp]
+	if !ok {
+		// Unique-prefix match: fingerprints are 64 hex chars, so letting
+		// clients send a short prefix keeps hand-typed requests humane.
+		var hits []*servedModel
+		for cand, m := range s.models {
+			if strings.HasPrefix(cand, fp) {
+				hits = append(hits, m)
+			}
+		}
+		switch len(hits) {
+		case 1:
+			sm = hits[0]
+		case 0:
+			return nil, fmt.Errorf("no loaded model matches %q", selector)
+		default:
+			return nil, fmt.Errorf("model selector %q is ambiguous (%d matches)", selector, len(hits))
+		}
+	}
+	// Incrementing under the registry read lock pairs with retire() running
+	// strictly after removal under the write lock: a model found in the map
+	// here cannot have been retired yet, so the reference is always taken on
+	// a live mapping.
+	sm.mu.Lock()
+	sm.refs++
+	sm.mu.Unlock()
+	s.metrics.incModelRequest(sm.fingerprint)
+	return sm, nil
+}
+
+// addModel builds the per-model artifacts for m and registers it. sidecar is
+// the prune-index sidecar path ("" builds in memory); makeDefault routes
+// selector-less requests to it. Re-adding a fingerprint that is already live
+// is not an error: the existing entry is kept (its sidecar and cache entries
+// stay warm) and only the default flag is applied.
+func (s *Server) addModel(m kge.Trainable, mapped *kge.Mapped, format, path string, loadTime time.Duration, sidecar string, makeDefault bool) (*servedModel, error) {
+	if m.NumEntities() < s.ds.Train.Entities.Len() {
+		return nil, fmt.Errorf("serve: model covers %d entities, dataset has %d", m.NumEntities(), s.ds.Train.Entities.Len())
+	}
+	fp := kge.Fingerprint(m)
+
+	s.regMu.RLock()
+	existing, ok := s.models[fp]
+	s.regMu.RUnlock()
+	if ok {
+		if makeDefault {
+			s.regMu.Lock()
+			s.defaultFP = fp
+			s.regMu.Unlock()
+		}
+		if mapped != nil {
+			mapped.Close() // duplicate mapping of weights already served
+		}
+		return existing, nil
+	}
+
+	sm := &servedModel{
+		model:       m,
+		mapped:      mapped,
+		ranker:      eval.NewRanker(m, s.ds.All()),
+		fingerprint: fp,
+		format:      format,
+		path:        path,
+		loadTime:    loadTime,
+	}
+	switch s.cfg.PruneMode {
+	case "", core.PruneOff:
+		// Dense sweeps; no index.
+	case core.PruneExact, core.PruneApprox:
+		sw, ok := m.(kge.ObjectSweeper)
+		if !ok {
+			return nil, fmt.Errorf("serve: prune mode %q requires a sweepable model, %T is not", s.cfg.PruneMode, m)
+		}
+		// One index per model serves every request against it: DiscoverFacts
+		// sees a prebuilt PruneIndex and skips its own per-call build.
+		// LoadOrBuild falls back to an in-memory build on any sidecar
+		// problem, so loading only fails on a truly unusable model.
+		ix, loaded, err := prune.LoadOrBuild(sidecar, sw, fp, prune.Params{Cells: s.cfg.PruneCells})
+		if err != nil {
+			return nil, fmt.Errorf("serve: building prune index: %w", err)
+		}
+		if sidecar != "" {
+			verb := "built"
+			if loaded {
+				verb = "loaded"
+			}
+			s.cfg.Logger.Printf("kgserve: %s prune index (%d cells) for sidecar %s", verb, ix.Cells(), sidecar)
+		}
+		sm.pruneIndex = ix
+	default:
+		return nil, fmt.Errorf("serve: unknown prune mode %q (want off, exact, or approx)", s.cfg.PruneMode)
+	}
+	if s.ds.Valid.Len() > 0 {
+		if cal, err := eval.FitPlatt(m, s.ds.Valid, s.ds.All(), eval.CalibrationOptions{Seed: 1}); err == nil {
+			sm.calibrator = cal
+		}
+	}
+
+	s.regMu.Lock()
+	if prior, ok := s.models[fp]; ok {
+		// Lost a load race for the same weights; keep the winner.
+		if makeDefault {
+			s.defaultFP = fp
+		}
+		s.regMu.Unlock()
+		if mapped != nil {
+			mapped.Close()
+		}
+		return prior, nil
+	}
+	s.models[fp] = sm
+	if makeDefault || s.defaultFP == "" {
+		s.defaultFP = fp
+	}
+	s.regMu.Unlock()
+	return sm, nil
+}
+
+// LoadModelFile reads a checkpoint (flat or gob, sniffed) from disk and
+// registers it. The prune sidecar lives next to the checkpoint
+// (kge.SidecarPath). Used by kgserve's -models flag and POST /models.
+func (s *Server) LoadModelFile(path string, makeDefault bool) (*servedModel, error) {
+	start := time.Now()
+	m, mapped, format, err := kge.LoadAuto(path)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := s.addModel(m, mapped, format, path, time.Since(start), kge.SidecarPath(path), makeDefault)
+	if err != nil && mapped != nil {
+		mapped.Close()
+	}
+	return sm, err
+}
+
+// unloadModel removes the model matching selector (exact fingerprint or
+// unique prefix) from the registry and retires it. Unloading the default
+// clears the default: subsequent selector-less requests fail until another
+// model is made default.
+func (s *Server) unloadModel(selector string) (string, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	sm, ok := s.models[selector]
+	fp := selector
+	if !ok {
+		var hits []string
+		for cand := range s.models {
+			if strings.HasPrefix(cand, selector) {
+				hits = append(hits, cand)
+			}
+		}
+		switch len(hits) {
+		case 1:
+			fp = hits[0]
+			sm = s.models[fp]
+		case 0:
+			return "", fmt.Errorf("no loaded model matches %q", selector)
+		default:
+			return "", fmt.Errorf("model selector %q is ambiguous (%d matches)", selector, len(hits))
+		}
+	}
+	delete(s.models, fp)
+	if s.defaultFP == fp {
+		s.defaultFP = ""
+	}
+	sm.retire()
+	return fp, nil
+}
+
+// defaultModel returns the current default entry, or nil. It takes no
+// reference; callers that score through it must acquireModel instead.
+func (s *Server) defaultModel() *servedModel {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return s.models[s.defaultFP]
+}
+
+// modelView is the wire form of one registry entry.
+type modelView struct {
+	Fingerprint string  `json:"fingerprint"`
+	Model       string  `json:"model"`
+	Dim         int     `json:"dim"`
+	Format      string  `json:"format"`
+	Path        string  `json:"path,omitempty"`
+	Default     bool    `json:"default"`
+	Calibrated  bool    `json:"calibrated"`
+	Pruned      bool    `json:"pruned"`
+	MappedBytes int     `json:"mapped_bytes,omitempty"`
+	LoadMS      float64 `json:"load_ms"`
+	InFlight    int     `json:"in_flight"`
+}
+
+func (s *Server) viewOf(sm *servedModel, isDefault bool) modelView {
+	v := modelView{
+		Fingerprint: sm.fingerprint,
+		Model:       sm.model.Name(),
+		Dim:         sm.model.Dim(),
+		Format:      sm.format,
+		Path:        sm.path,
+		Default:     isDefault,
+		Calibrated:  sm.calibrator != nil,
+		Pruned:      sm.pruneIndex != nil,
+		LoadMS:      float64(sm.loadTime.Microseconds()) / 1000,
+	}
+	if sm.mapped != nil {
+		v.MappedBytes = sm.mapped.MappedBytes()
+	}
+	sm.mu.Lock()
+	v.InFlight = sm.refs
+	sm.mu.Unlock()
+	return v
+}
+
+// modelViews snapshots every live model, fingerprint-sorted.
+func (s *Server) modelViews() []modelView {
+	s.regMu.RLock()
+	sms := make([]*servedModel, 0, len(s.models))
+	for _, sm := range s.models {
+		sms = append(sms, sm)
+	}
+	defaultFP := s.defaultFP
+	s.regMu.RUnlock()
+	sort.Slice(sms, func(i, j int) bool { return sms[i].fingerprint < sms[j].fingerprint })
+	out := make([]modelView, len(sms))
+	for i, sm := range sms {
+		out[i] = s.viewOf(sm, sm.fingerprint == defaultFP)
+	}
+	return out
+}
+
+func (s *Server) handleModelList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.modelViews()})
+}
+
+// modelLoadRequest asks the server to serve a checkpoint from its local
+// filesystem. This is an operator-facing admin endpoint: the server reads
+// whatever path it is told to, so deployments that expose it beyond
+// localhost should front it with their own authorization.
+type modelLoadRequest struct {
+	Path    string `json:"path"`
+	Default bool   `json:"default"`
+}
+
+func (s *Server) handleModelLoad(w http.ResponseWriter, r *http.Request) {
+	var req modelLoadRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "path is required")
+		return
+	}
+	sm, err := s.LoadModelFile(req.Path, req.Default)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "load %s: %v", req.Path, err)
+		return
+	}
+	s.cfg.Logger.Printf("kgserve: loaded model %s (%s, %s) from %s in %s",
+		sm.fingerprint[:12], sm.model.Name(), sm.format, req.Path, sm.loadTime.Round(time.Microsecond))
+	s.regMu.RLock()
+	isDefault := s.defaultFP == sm.fingerprint
+	s.regMu.RUnlock()
+	writeJSON(w, http.StatusCreated, s.viewOf(sm, isDefault))
+}
+
+func (s *Server) handleModelUnload(w http.ResponseWriter, r *http.Request) {
+	sel := r.PathValue("fp")
+	fp, err := s.unloadModel(sel)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.cfg.Logger.Printf("kgserve: unloaded model %s", fp[:12])
+	writeJSON(w, http.StatusOK, map[string]any{"unloaded": fp})
+}

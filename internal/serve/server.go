@@ -34,11 +34,9 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/eval"
 	"repro/internal/jobs"
 	"repro/internal/kg"
 	"repro/internal/kge"
-	"repro/internal/prune"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -130,16 +128,17 @@ func (c *Config) setDefaults() {
 // implementations to count executions and control timing.
 type discoverFunc func(ctx context.Context, model kge.Model, g *kg.Graph, strategy core.Strategy, opts core.Options) (*core.Result, error)
 
-// Server bundles the loaded artifacts, their derived helpers, and the
-// serving machinery (cache, single-flight group, discovery semaphore,
-// metrics).
+// Server bundles the shared dataset, the model registry (see registry.go),
+// and the serving machinery (cache, single-flight group, discovery
+// semaphore, metrics).
 type Server struct {
-	ds          *kg.Dataset
-	model       kge.Trainable
-	ranker      *eval.Ranker
-	calibrator  *eval.PlattCalibrator // nil when no validation split exists
-	fingerprint string                // kge.Fingerprint of the loaded weights
-	pruneIndex  *prune.Index          // non-nil iff cfg.PruneMode enables pruning
+	ds *kg.Dataset
+
+	// The fingerprint-keyed model registry. regMu guards the map and the
+	// default pointer; per-model reference counts live on each servedModel.
+	regMu     sync.RWMutex
+	models    map[string]*servedModel
+	defaultFP string
 
 	cfg         Config
 	cache       *lruCache
@@ -152,52 +151,23 @@ type Server struct {
 	closeOnce   sync.Once
 }
 
-// New builds a Server over already-loaded artifacts. The model must cover
-// every entity of the dataset.
+// New builds a Server over already-loaded artifacts, registering model as
+// the default. The model must cover every entity of the dataset.
 func New(ds *kg.Dataset, model kge.Trainable, cfg Config) (*Server, error) {
 	cfg.setDefaults()
-	if model.NumEntities() < ds.Train.Entities.Len() {
-		return nil, fmt.Errorf("serve: model covers %d entities, dataset has %d", model.NumEntities(), ds.Train.Entities.Len())
-	}
 	s := &Server{
 		ds:          ds,
-		model:       model,
-		ranker:      eval.NewRanker(model, ds.All()),
-		fingerprint: kge.Fingerprint(model),
+		models:      make(map[string]*servedModel),
 		cfg:         cfg,
 		flight:      newFlightGroup(),
 		metrics:     newMetrics(),
 		discoverSem: make(chan struct{}, cfg.MaxDiscover),
 		discover:    core.DiscoverFacts,
 	}
-	switch cfg.PruneMode {
-	case "", core.PruneOff:
-		// Dense sweeps; no index.
-	case core.PruneExact, core.PruneApprox:
-		sw, ok := model.(kge.ObjectSweeper)
-		if !ok {
-			return nil, fmt.Errorf("serve: prune mode %q requires a sweepable model, %T is not", cfg.PruneMode, model)
-		}
-		// One index serves every request: DiscoverFacts sees a prebuilt
-		// PruneIndex and skips its own per-call build. LoadOrBuild falls back
-		// to an in-memory build on any sidecar problem, so startup only fails
-		// on a truly unusable model/parameter combination.
-		ix, loaded, err := prune.LoadOrBuild(cfg.PruneIndexPath, sw, s.fingerprint, prune.Params{Cells: cfg.PruneCells})
-		if err != nil {
-			return nil, fmt.Errorf("serve: building prune index: %w", err)
-		}
-		if cfg.PruneIndexPath != "" {
-			verb := "built"
-			if loaded {
-				verb = "loaded"
-			}
-			cfg.Logger.Printf("kgserve: %s prune index (%d cells) for sidecar %s", verb, ix.Cells(), cfg.PruneIndexPath)
-		}
-		s.pruneIndex = ix
-	default:
-		return nil, fmt.Errorf("serve: unknown prune mode %q (want off, exact, or approx)", cfg.PruneMode)
-	}
 	s.cache = newLRUCache(cfg.CacheSize, s.metrics.incEviction)
+	if _, err := s.addModel(model, nil, "memory", "", 0, cfg.PruneIndexPath, true); err != nil {
+		return nil, err
+	}
 	// The forwarding closure reads s.discover at call time, so tests that
 	// substitute an instrumented discover function cover async jobs too.
 	s.jobs = jobs.NewManager(jobs.Config{
@@ -213,47 +183,71 @@ func New(ds *kg.Dataset, model kge.Trainable, cfg Config) (*Server, error) {
 			return res, err
 		},
 	})
-	if ds.Valid.Len() > 0 {
-		cal, err := eval.FitPlatt(model, ds.Valid, ds.All(), eval.CalibrationOptions{Seed: 1})
-		if err == nil {
-			s.calibrator = cal
-		}
-	}
 	return s, nil
 }
 
-// Load reads a dataset directory and a model checkpoint from disk and
-// builds a Server over them.
+// Load reads a dataset directory and a model checkpoint (flat or gob,
+// sniffed from the file) from disk and builds a Server with it as the
+// default model.
 func Load(dataDir, modelPath string, cfg Config) (*Server, error) {
+	cfg.setDefaults()
 	ds, err := kg.LoadDataset(dataDir, dataDir)
 	if err != nil {
 		return nil, err
 	}
-	m, err := kge.LoadFile(modelPath)
+	start := time.Now()
+	m, mapped, format, err := kge.LoadAuto(modelPath)
 	if err != nil {
 		return nil, err
 	}
-	return New(ds, m, cfg)
+	s, err := New(ds, m, cfg)
+	if err != nil {
+		if mapped != nil {
+			mapped.Close()
+		}
+		return nil, err
+	}
+	// Patch the default entry's provenance: New registered it as an
+	// in-memory model because it cannot know where the weights came from.
+	if sm := s.defaultModel(); sm != nil {
+		sm.mapped = mapped
+		sm.format = format
+		sm.path = modelPath
+		sm.loadTime = time.Since(start)
+		cfg.Logger.Printf("kgserve: loaded %s checkpoint %s (%s) in %s",
+			format, modelPath, sm.fingerprint[:12], sm.loadTime.Round(time.Microsecond))
+	}
+	return s, nil
 }
 
-// applyPruneOptions copies the server's pruning configuration into one
+// applyPruneOptions copies one model's pruning configuration into one
 // discovery run's options. The prebuilt index keeps DiscoverFacts from
 // re-clustering the entity table on every request.
-func (s *Server) applyPruneOptions(opts *core.Options) {
-	if s.pruneIndex == nil {
+func (s *Server) applyPruneOptions(sm *servedModel, opts *core.Options) {
+	if sm.pruneIndex == nil {
 		return
 	}
 	opts.PruneMode = s.cfg.PruneMode
 	opts.PruneProbe = s.cfg.PruneProbe
-	opts.PruneIndex = s.pruneIndex
+	opts.PruneIndex = sm.pruneIndex
 }
 
-// Fingerprint returns the canonical weight digest the response cache is
-// keyed by.
-func (s *Server) Fingerprint() string { return s.fingerprint }
+// Fingerprint returns the default model's canonical weight digest, or ""
+// when no default is set.
+func (s *Server) Fingerprint() string {
+	if sm := s.defaultModel(); sm != nil {
+		return sm.fingerprint
+	}
+	return ""
+}
 
-// Model returns the served model.
-func (s *Server) Model() kge.Trainable { return s.model }
+// Model returns the default served model, or nil when no default is set.
+func (s *Server) Model() kge.Trainable {
+	if sm := s.defaultModel(); sm != nil {
+		return sm.model
+	}
+	return nil
+}
 
 // Dataset returns the served dataset.
 func (s *Server) Dataset() *kg.Dataset { return s.ds }
@@ -273,6 +267,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /jobs/{id}", s.wrap("/jobs/{id}", s.handleJobStatus))
 	mux.Handle("GET /jobs/{id}/result", s.wrap("/jobs/{id}/result", s.handleJobResult))
 	mux.Handle("DELETE /jobs/{id}", s.wrap("/jobs/{id}", s.handleJobCancel))
+	mux.Handle("GET /models", s.wrap("/models", s.handleModelList))
+	mux.Handle("POST /models", s.wrap("/models", s.handleModelLoad))
+	mux.Handle("DELETE /models/{fp}", s.wrap("/models/{fp}", s.handleModelUnload))
 	if s.cfg.EnablePprof {
 		// Mounted bare (no wrap): the profile handlers stream for seconds at
 		// a time and must not show up in request-latency histograms or be
@@ -286,12 +283,28 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Close stops the async job machinery: pending and running jobs are
-// cancelled and the worker pool drained. Serve calls it during shutdown;
+// Close stops the async job machinery — pending and running jobs are
+// cancelled and the worker pool drained — then retires every registered
+// model, unmapping mmap-backed checkpoints. Serve calls it during shutdown;
 // callers that only use Handler (tests, embedding) should call it
 // themselves. Idempotent.
 func (s *Server) Close() {
-	s.closeOnce.Do(s.jobs.Close)
+	s.closeOnce.Do(func() {
+		// Jobs first: draining the pool releases the model references jobs
+		// hold, so the retire below can unmap immediately.
+		s.jobs.Close()
+		s.regMu.Lock()
+		retired := make([]*servedModel, 0, len(s.models))
+		for fp, sm := range s.models {
+			retired = append(retired, sm)
+			delete(s.models, fp)
+		}
+		s.defaultFP = ""
+		s.regMu.Unlock()
+		for _, sm := range retired {
+			sm.retire()
+		}
+	})
 }
 
 // ListenAndServe listens on cfg.Addr and serves until ctx is cancelled,

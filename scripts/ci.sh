@@ -231,4 +231,87 @@ if ! cmp -s "$tmp/full.tsv" "$tmp/resumed.tsv"; then
 fi
 echo "crash-resume gate: SIGKILL mid-sweep, resumed $n of $m relations, byte-identical output"
 
+echo "== flat-checkpoint serving + hot-swap gate =="
+# Serve the same trained weights from both checkpoint containers (gob decode
+# vs mmap flat) and require the /discover bodies identical — facts, total,
+# and mrr byte-for-byte; only the wall-clock runtime_ms field is normalized.
+# Then exercise the multi-model registry on the flat server: load a second
+# model at runtime, route to it by fingerprint prefix, unload the first
+# (the default), and require 404s for the unloaded fingerprint while the
+# second keeps serving.
+go build -o "$tmp/kgconvert" ./cmd/kgconvert
+"$tmp/kgconvert" -in "$tmp/negsample-w1.kge" -out "$tmp/flat-a.kgf" >"$tmp/conv-a.log"
+fp_a="$(sed -n 's/.*fingerprint \([0-9a-f]*\)$/\1/p' "$tmp/conv-a.log")"
+"$tmp/kgtrain" -data "$tmp/data" -model distmult -dim 16 -epochs 2 \
+  -seed 23 -quiet -out "$tmp/model-b.kge" >/dev/null
+"$tmp/kgconvert" -in "$tmp/model-b.kge" -out "$tmp/flat-b.kgf" >"$tmp/conv-b.log"
+fp_b="$(sed -n 's/.*fingerprint \([0-9a-f]*\)$/\1/p' "$tmp/conv-b.log")"
+if [ -z "$fp_a" ] || [ -z "$fp_b" ] || [ "$fp_a" = "$fp_b" ]; then
+  echo "hot-swap gate FAILED: bad fingerprints a='$fp_a' b='$fp_b'" >&2
+  exit 1
+fi
+
+scrape_addr() {
+  local a="" log="$1"
+  for _ in $(seq 1 100); do
+    a="$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$log" | head -n 1)"
+    [ -n "$a" ] && break
+    sleep 0.1
+  done
+  echo "$a"
+}
+
+"$tmp/kgserve" -data "$tmp/data" -model "$tmp/negsample-w1.kge" \
+  -addr 127.0.0.1:0 >"$tmp/serve-gob.log" 2>&1 &
+gob_pid=$!
+"$tmp/kgserve" -data "$tmp/data" -model "$tmp/flat-a.kgf" \
+  -addr 127.0.0.1:0 >"$tmp/serve-flat.log" 2>&1 &
+flat_pid=$!
+gob_addr="$(scrape_addr "$tmp/serve-gob.log")"
+flat_addr="$(scrape_addr "$tmp/serve-flat.log")"
+if [ -z "$gob_addr" ] || [ -z "$flat_addr" ]; then
+  echo "hot-swap gate FAILED: a server never reported its address" >&2
+  cat "$tmp/serve-gob.log" "$tmp/serve-flat.log" >&2
+  exit 1
+fi
+
+swap_body='{"strategy":"graph_degree","top_n":20,"max_candidates":30,"limit":5,"seed":3}'
+curl -fsS -X POST -d "$swap_body" "http://$gob_addr/discover" \
+  | sed 's/"runtime_ms":[0-9]*/"runtime_ms":0/' >"$tmp/disc-gob.json"
+curl -fsS -X POST -d "$swap_body" "http://$flat_addr/discover" \
+  | sed 's/"runtime_ms":[0-9]*/"runtime_ms":0/' >"$tmp/disc-flat.json"
+if ! cmp -s "$tmp/disc-gob.json" "$tmp/disc-flat.json"; then
+  echo "hot-swap gate FAILED: gob-served and flat-served /discover bodies differ" >&2
+  diff "$tmp/disc-gob.json" "$tmp/disc-flat.json" >&2 || true
+  exit 1
+fi
+kill -TERM "$gob_pid"
+wait "$gob_pid" || { echo "hot-swap gate FAILED: gob server unclean exit" >&2; exit 1; }
+
+curl -fsS -X POST -d "{\"path\":\"$tmp/flat-b.kgf\"}" "http://$flat_addr/models" >/dev/null
+models_listed="$(curl -fsS "http://$flat_addr/models" | grep -o '"fingerprint"' | wc -l)"
+if [ "$models_listed" -ne 2 ]; then
+  echo "hot-swap gate FAILED: expected 2 loaded models, GET /models listed $models_listed" >&2
+  exit 1
+fi
+curl -fsS -X POST \
+  -d "{\"model\":\"${fp_b:0:12}\",\"strategy\":\"graph_degree\",\"top_n\":20,\"max_candidates\":30,\"limit\":5,\"seed\":3}" \
+  "http://$flat_addr/discover" >/dev/null
+curl -fsS -X DELETE "http://$flat_addr/models/$fp_a" >/dev/null
+code_unloaded="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d "{\"model\":\"$fp_a\",\"strategy\":\"graph_degree\",\"top_n\":20,\"max_candidates\":30,\"limit\":5,\"seed\":3}" \
+  "http://$flat_addr/discover")"
+code_default="$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$swap_body" \
+  "http://$flat_addr/discover")"
+if [ "$code_unloaded" != 404 ] || [ "$code_default" != 404 ]; then
+  echo "hot-swap gate FAILED: unloaded fingerprint gave $code_unloaded, selector-less gave $code_default (want 404/404)" >&2
+  exit 1
+fi
+curl -fsS -X POST \
+  -d "{\"model\":\"${fp_b:0:12}\",\"strategy\":\"graph_degree\",\"top_n\":20,\"max_candidates\":30,\"limit\":5,\"seed\":3}" \
+  "http://$flat_addr/discover" >/dev/null
+kill -TERM "$flat_pid"
+wait "$flat_pid" || { echo "hot-swap gate FAILED: flat server unclean exit" >&2; exit 1; }
+echo "hot-swap gate: gob == flat /discover, runtime load/route/unload clean, 404 after unload"
+
 echo "CI OK"
