@@ -14,16 +14,28 @@
 //	kgdiscover -data data/fb10 -model transe.kge -checkpoint sweep.wal -out facts.tsv
 //	# ... SIGKILL ...
 //	kgdiscover -data data/fb10 -model transe.kge -checkpoint sweep.wal -resume -out facts.tsv
+//
+// With -fleet the sweep is routed to a kgfleet coordinator (started with
+// `kgfleet coord -serve`) and executed by its workers; the output — ranks,
+// facts, TSV — is byte-identical to running the same sweep locally.
+//
+//	kgdiscover -data data/fb10 -model transe.kge -fleet http://127.0.0.1:7070 -out facts.tsv
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/kg"
 	"repro/internal/kge"
@@ -54,6 +66,7 @@ func run(args []string) error {
 		outTSV     = fs.String("out", "", "also write all facts as TSV to this path")
 		checkpoint = fs.String("checkpoint", "", "journal each completed relation to this WAL path (crash-resumable)")
 		resume     = fs.Bool("resume", false, "continue from an existing -checkpoint journal")
+		fleetAddr  = fs.String("fleet", "", "route the sweep to this kgfleet coordinator URL instead of sweeping locally (output stays byte-identical)")
 		batch      = fs.Bool("batch", true, "rank with relation-blocked batched sweeps (output is byte-identical either way)")
 		pruneMode  = fs.String("prune", "off", "prescreen ranking sweeps with an IVF/int8 index: off, exact (byte-identical output), or approx")
 		pruneCells = fs.Int("prune_cells", 0, "prune index cell count (0 = ceil(sqrt(|E|)))")
@@ -69,6 +82,28 @@ func run(args []string) error {
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *fleetAddr != "" {
+		if *pruneMode != "" && *pruneMode != core.PruneOff {
+			return fmt.Errorf("-prune is a per-host sidecar optimization and cannot be combined with -fleet")
+		}
+		return runFleet(fleetSweep{
+			coord:      *fleetAddr,
+			dataDir:    *dataDir,
+			modelPath:  *modelPath,
+			strategy:   *stratName,
+			checkpoint: *checkpoint,
+			resume:     *resume,
+			outTSV:     *outTSV,
+			limit:      *limit,
+			options: fleet.SweepOptions{
+				TopN:          *topN,
+				MaxCandidates: *maxCand,
+				Seed:          *seed,
+				RankFiltered:  *filtered,
+				CacheWeights:  *cacheW,
+			},
+		})
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -206,6 +241,108 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %d facts to %s\n", len(res.Facts), *outTSV)
+	}
+	return nil
+}
+
+// fleetSweep is everything needed to route one sweep through a coordinator.
+type fleetSweep struct {
+	coord      string
+	dataDir    string
+	modelPath  string
+	strategy   string
+	options    fleet.SweepOptions
+	checkpoint string
+	resume     bool
+	outTSV     string
+	limit      int
+}
+
+// runFleet submits the sweep to a kgfleet coordinator and renders the
+// response exactly like a local run: resumed-checkpoint line, summary, top
+// facts, TSV. The coordinator and its workers resolve -data and -model on
+// their own filesystems and verify them against the pinned fingerprint and
+// options hash, so a divergent copy fails loudly instead of sweeping.
+func runFleet(fl fleetSweep) error {
+	ds, err := kg.LoadDataset(fl.dataDir, fl.dataDir)
+	if err != nil {
+		return err
+	}
+	base := fl.coord
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	body, err := json.Marshal(fleet.SweepRequest{
+		Data:       fl.dataDir,
+		Model:      fl.modelPath,
+		Strategy:   fl.strategy,
+		Options:    fl.options,
+		Checkpoint: fl.checkpoint,
+		Resume:     fl.resume,
+	})
+	if err != nil {
+		return err
+	}
+	// No client timeout: the request holds until the fleet finishes the
+	// sweep, which for large graphs is minutes.
+	httpResp, err := http.Post(strings.TrimSuffix(base, "/")+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fleet coordinator %s: %w", base, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("fleet coordinator %s: %s", base, e.Error)
+		}
+		return fmt.Errorf("fleet coordinator %s: HTTP %d: %s", base, httpResp.StatusCode, raw)
+	}
+	var resp fleet.SweepResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("fleet coordinator %s: decoding response: %w", base, err)
+	}
+
+	if fl.checkpoint != "" {
+		fmt.Printf("checkpoint: resumed %d of %d relations (journal %s on coordinator)\n",
+			resp.Fleet.Resumed, resp.Fleet.TotalRelations, fl.checkpoint)
+	}
+	fmt.Printf("strategy=%s fingerprint=%.12s facts=%d generated=%d\n",
+		fl.strategy, resp.Fingerprint, len(resp.Facts), resp.Generated)
+	fmt.Printf("fleet: coordinator=%s units=%d workers=%d reassigned=%d duplicates=%d retried=%d resumed=%d\n",
+		base, resp.Fleet.Units, resp.Fleet.Workers, resp.Fleet.Reassigned,
+		resp.Fleet.DuplicateRecords, resp.Fleet.RetriedUnits, resp.Fleet.Resumed)
+	fmt.Printf("runtime=%s (weights=%s generate=%s rank=%s sweeps=%d)\n",
+		time.Duration(resp.RuntimeMS)*time.Millisecond, time.Duration(resp.WeightMS)*time.Millisecond,
+		time.Duration(resp.GenerateMS)*time.Millisecond, time.Duration(resp.RankMS)*time.Millisecond,
+		resp.ScoreSweeps)
+
+	n := len(resp.Facts)
+	if fl.limit > 0 && fl.limit < n {
+		n = fl.limit
+	}
+	for _, f := range resp.Facts[:n] {
+		fmt.Printf("rank %4d  %s\n", f.Rank, ds.Train.FormatTriple(kg.Triple{S: f.S, R: f.R, O: f.O}))
+	}
+	if n < len(resp.Facts) {
+		fmt.Printf("... and %d more\n", len(resp.Facts)-n)
+	}
+
+	if fl.outTSV != "" {
+		fobj, err := os.Create(fl.outTSV)
+		if err != nil {
+			return err
+		}
+		if err := fleet.WriteFactsTSV(ds.Train.Entities, ds.Train.Relations, resp.Facts, fobj); err != nil {
+			fobj.Close()
+			return err
+		}
+		if err := fobj.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d facts to %s\n", len(resp.Facts), fl.outTSV)
 	}
 	return nil
 }

@@ -2,10 +2,12 @@ package main
 
 import (
 	"context"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/fleet"
 	"repro/internal/kg"
 	"repro/internal/kge"
 	"repro/internal/synth"
@@ -150,5 +152,57 @@ func TestRunCheckpointResume(t *testing.T) {
 	// A checkpoint written by different options must be rejected.
 	if err := run(argv(tsv("foreign"), "-checkpoint", wal, "-resume", "-seed", "99")); err == nil {
 		t.Fatal("accepted a checkpoint from different options")
+	}
+}
+
+// TestRunFleet routes a sweep through an in-process coordinator and worker
+// via -fleet and requires the TSV to be byte-identical to the local run.
+func TestRunFleet(t *testing.T) {
+	dataDir, modelPath := fixture(t)
+	dir := t.TempDir()
+	argv := func(out string, extra ...string) []string {
+		return append([]string{"-data", dataDir, "-model", modelPath,
+			"-strategy", "graph_degree", "-top_n", "20", "-max_candidates", "30",
+			"-limit", "2", "-out", out}, extra...)
+	}
+	localTSV := filepath.Join(dir, "local.tsv")
+	fleetTSV := filepath.Join(dir, "fleet.tsv")
+
+	if err := run(argv(localTSV)); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	// Prune indexes are per-host sidecars; combining them with -fleet must
+	// be refused before anything is submitted.
+	if err := run(argv(fleetTSV, "-fleet", "http://127.0.0.1:1", "-prune", "exact")); err == nil {
+		t.Error("accepted -prune with -fleet")
+	}
+	// An unreachable coordinator must surface as an error, not a hang.
+	if err := run(argv(fleetTSV, "-fleet", "http://127.0.0.1:1")); err == nil {
+		t.Error("accepted an unreachable coordinator")
+	}
+
+	coord := fleet.New(fleet.Config{})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := fleet.NewWorker(fleet.WorkerConfig{Coordinator: srv.URL, Name: "w0"})
+	workerDone := make(chan struct{})
+	go func() { defer close(workerDone); w.Run(ctx) }()
+	defer func() { cancel(); <-workerDone }()
+
+	if err := run(argv(fleetTSV, "-fleet", srv.URL)); err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	local, err := os.ReadFile(localTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFleet, err := os.ReadFile(fleetTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(local) != string(viaFleet) {
+		t.Errorf("fleet TSV differs from local run:\nlocal:\n%s\nfleet:\n%s", local, viaFleet)
 	}
 }

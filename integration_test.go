@@ -1,18 +1,25 @@
 package repro
 
-// End-to-end integration test: the full pipeline a user of this library
+// End-to-end integration tests: the full pipeline a user of this library
 // runs — generate a dataset, train a model, evaluate it, calibrate it,
 // discover facts with a sampling strategy, cross-check against the
 // exhaustive baseline, score the discoveries with the recovery protocol,
-// and round-trip the model through a checkpoint.
+// and round-trip the model through a checkpoint — plus the distributed
+// path: the same sweep through real kgfleet coordinator and worker
+// processes, byte-identical to the in-process run.
 
 import (
+	"bytes"
 	"context"
+	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/harness"
+	"repro/internal/jobs"
 	"repro/internal/kg"
 	"repro/internal/kge"
 	"repro/internal/synth"
@@ -152,5 +159,101 @@ func TestEndToEndPipeline(t *testing.T) {
 	probe := ds.Test.Triples()[0]
 	if back.Score(probe) != model.Score(probe) {
 		t.Error("checkpoint round trip changed scores")
+	}
+}
+
+// TestEndToEndFleet runs the distributed discovery path with real
+// processes: a one-shot kgfleet coordinator and two workers sweep a saved
+// dataset/checkpoint, and the spliced TSV must be byte-identical to an
+// in-process jobs.Run over the same inputs. Skips when the kgfleet binary
+// cannot be built (e.g. no go toolchain in the test environment).
+func TestEndToEndFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fleet pipeline")
+	}
+	bin := harness.BuildCmdOrSkip(t, "kgfleet")
+	ctx := context.Background()
+
+	// Saved artifacts: a tiny dataset and a seeded (untrained — training is
+	// irrelevant to splice identity) checkpoint, the on-disk form the fleet
+	// consumes.
+	ds, err := synth.Generate(synth.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(t.TempDir(), "ds")
+	if err := kg.SaveDataset(ds, dataDir); err != nil {
+		t.Fatal(err)
+	}
+	model, err := kge.New("distmult", kge.Config{
+		NumEntities:  ds.Train.Entities.Len(),
+		NumRelations: ds.Train.Relations.Len(),
+		Dim:          8,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(t.TempDir(), "m.kge")
+	if err := kge.SaveFile(model, modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the identical sweep, single-process.
+	strategy, err := core.StrategyByName("graph_degree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := kg.LoadDataset(dataDir, dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := jobs.Run(ctx, jobs.Spec{
+		Model: model, Graph: reloaded.Train, Strategy: strategy,
+		Options: core.Options{TopN: 40, MaxCandidates: 30, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := kg.NewGraphWithDicts(reloaded.Train.Entities, reloaded.Train.Relations)
+	for _, f := range res.Facts {
+		ref.Add(f.Triple)
+	}
+	var want bytes.Buffer
+	if err := kg.WriteTSV(ref, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet: coordinator on a random port plus two workers, as real
+	// processes wired together by scraping the coordinator's log.
+	logs := t.TempDir()
+	outTSV := filepath.Join(t.TempDir(), "facts.tsv")
+	coord := harness.StartProc(t, filepath.Join(logs, "coord.log"), bin, "coord",
+		"-data", dataDir, "-model", modelPath,
+		"-strategy", "graph_degree", "-top_n", "40", "-max_candidates", "30", "-seed", "7",
+		"-unit", "1", "-out", outTSV, "-limit", "0", "-drain", "2s")
+	addr := coord.MustWaitLine(t, `coordinator listening on (\S+)`, 30*time.Second)
+
+	var workers []*harness.Proc
+	for _, name := range []string{"w0", "w1"} {
+		workers = append(workers, harness.StartProc(t, filepath.Join(logs, name+".log"), bin, "worker",
+			"-coord", "http://"+addr, "-name", name, "-max-idle", "30s"))
+	}
+	if err := coord.Wait(2 * time.Minute); err != nil {
+		t.Fatalf("coordinator: %v\nlog:\n%s", err, coord.Log())
+	}
+	for i, w := range workers {
+		if err := w.Wait(30 * time.Second); err != nil {
+			t.Fatalf("worker %d: %v\nlog:\n%s", i, err, w.Log())
+		}
+	}
+
+	got, err := os.ReadFile(outTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("fleet TSV differs from in-process reference:\nfleet:\n%s\nreference:\n%s",
+			got, want.Bytes())
 	}
 }

@@ -286,8 +286,11 @@ func (j *Journal) append(rec record) error {
 // Close closes the underlying file.
 func (j *Journal) Close() error { return j.f.Close() }
 
-// relationRecordOf converts one OnRelationDone payload to its wire form.
-func relationRecordOf(d core.RelationDone) RelationRecord {
+// RecordOf converts one OnRelationDone payload to its journal/wire form.
+// It deep-copies the facts: RelationDone.Facts aliases core's internal
+// buffers and is only valid during the callback, but a RelationRecord is a
+// value callers may keep, journal, or ship across a network.
+func RecordOf(d core.RelationDone) RelationRecord {
 	rec := RelationRecord{
 		Relation: d.Relation,
 		Stats: StatsRecord{

@@ -40,6 +40,11 @@ type Spec struct {
 	// OnProgress, when non-nil, is called after each relation completes
 	// (journaled relations recovered during resume do not replay it).
 	OnProgress func(Progress)
+	// OnRelation, when non-nil, receives each freshly swept relation's wire
+	// record (after it has been journaled, for journaled runs). Recovered
+	// relations do not replay it. The fleet worker uses it to collect the
+	// records a completed unit ships back to its coordinator.
+	OnRelation func(RelationRecord)
 	// OnFinish, when non-nil, is called exactly once when the job reaches a
 	// terminal state (done, failed, or cancelled — including jobs cancelled
 	// while still queued). Manager.Close drains the queue, so every accepted
@@ -230,23 +235,7 @@ func run(ctx context.Context, spec Spec, discover discoverFunc) (*core.Result, R
 		if !inJob[rec.Relation] {
 			continue
 		}
-		st := relationStatsOf(rec)
-		res.Stats.Relations++
-		res.Stats.WeightTime += st.WeightTime
-		res.Stats.GenerateTime += st.GenerateTime
-		res.Stats.RankTime += st.RankTime
-		res.Stats.Generated += st.Generated
-		res.Stats.Iterations += st.Iterations
-		res.Stats.ScoreSweeps += st.ScoreSweeps
-		res.Stats.BatchedSweeps += st.BatchedSweeps
-		res.Stats.BatchRows += st.BatchRows
-		res.Stats.CellsPruned += st.CellsPruned
-		res.Stats.PrescreenRows += st.PrescreenRows
-		res.Stats.GroupedCandidates += st.Generated
-		res.Stats.PerRelation = append(res.Stats.PerRelation, st)
-		for _, f := range rec.Facts {
-			res.Facts = append(res.Facts, core.Fact{Triple: kg.Triple{S: f.S, R: f.R, O: f.O}, Rank: f.Rank})
-		}
+		mergeRecord(res, rec)
 		factsSum += len(rec.Facts)
 	}
 
@@ -256,8 +245,15 @@ func run(ctx context.Context, spec Spec, discover discoverFunc) (*core.Result, R
 		doneCount := info.Resumed
 		var hookErr error
 		runOpts.OnRelationDone = func(d core.RelationDone) {
+			var rec RelationRecord
+			if journal != nil || spec.OnRelation != nil {
+				rec = RecordOf(d)
+			}
 			if journal != nil && hookErr == nil {
-				hookErr = journal.Append(relationRecordOf(d))
+				hookErr = journal.Append(rec)
+			}
+			if spec.OnRelation != nil {
+				spec.OnRelation(rec)
 			}
 			doneCount++
 			factsSum += len(d.Facts)
@@ -298,4 +294,44 @@ func run(ctx context.Context, spec Spec, discover discoverFunc) (*core.Result, R
 	core.SortFactsByRank(res.Facts)
 	res.Stats.Total = time.Since(start)
 	return res, info, nil
+}
+
+// mergeRecord folds one journaled (or wire-delivered) relation record into
+// an accumulating result. GroupedCandidates is approximated by Generated:
+// the per-relation wire format does not carry group counts, and for every
+// path that produces records the two are equal in aggregate.
+func mergeRecord(res *core.Result, rec RelationRecord) {
+	st := relationStatsOf(rec)
+	res.Stats.Relations++
+	res.Stats.WeightTime += st.WeightTime
+	res.Stats.GenerateTime += st.GenerateTime
+	res.Stats.RankTime += st.RankTime
+	res.Stats.Generated += st.Generated
+	res.Stats.Iterations += st.Iterations
+	res.Stats.ScoreSweeps += st.ScoreSweeps
+	res.Stats.BatchedSweeps += st.BatchedSweeps
+	res.Stats.BatchRows += st.BatchRows
+	res.Stats.CellsPruned += st.CellsPruned
+	res.Stats.PrescreenRows += st.PrescreenRows
+	res.Stats.GroupedCandidates += st.Generated
+	res.Stats.PerRelation = append(res.Stats.PerRelation, st)
+	for _, f := range rec.Facts {
+		res.Facts = append(res.Facts, core.Fact{Triple: kg.Triple{S: f.S, R: f.R, O: f.O}, Rank: f.Rank})
+	}
+}
+
+// MergeRecords splices per-relation records — however they were produced:
+// recovered from a journal, or completed by fleet workers in any order and
+// any interleaving — into one Result in the canonical output order. Because
+// each relation's sweep is a pure function of its inputs (per-relation RNG
+// streams) and SortFactsByRank is a total order, the merged result is
+// byte-identical to a single uninterrupted DiscoverFacts run over the same
+// relations. Stats.Total is left zero; wall-clock belongs to the caller.
+func MergeRecords(recs []RelationRecord) *core.Result {
+	res := &core.Result{}
+	for _, rec := range recs {
+		mergeRecord(res, rec)
+	}
+	core.SortFactsByRank(res.Facts)
+	return res
 }

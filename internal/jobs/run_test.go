@@ -413,3 +413,67 @@ func TestJournalOnDiskIsPlainJSONL(t *testing.T) {
 		t.Fatal("duplicate relations in journal")
 	}
 }
+
+// TestOnRelationCollectsMergeableRecords: the OnRelation hook yields one
+// record per swept relation, and MergeRecords splices them — in any order —
+// into a result whose facts match an uninterrupted run exactly. This is the
+// invariant the fleet coordinator's byte-identity claim rests on.
+func TestOnRelationCollectsMergeableRecords(t *testing.T) {
+	ds, m, _ := testModel(t)
+	direct, err := core.DiscoverFacts(context.Background(), m, ds.Train, core.NewEntityFrequency(), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var records []RelationRecord
+	_, _, err = Run(context.Background(), Spec{
+		Model:      m,
+		Graph:      ds.Train,
+		Strategy:   core.NewEntityFrequency(),
+		Options:    testOptions(),
+		OnRelation: func(rec RelationRecord) { records = append(records, rec) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ds.Train.RelationIDs()); len(records) != want {
+		t.Fatalf("OnRelation fired %d times, want %d", len(records), want)
+	}
+
+	// Reverse the delivery order: completion order across a fleet is
+	// arbitrary, and the merge must not care.
+	for i, j := 0, len(records)-1; i < j; i, j = i+1, j-1 {
+		records[i], records[j] = records[j], records[i]
+	}
+	merged := MergeRecords(records)
+	if !factsEqual(direct.Facts, merged.Facts) {
+		t.Fatalf("merged facts differ from direct run: %d vs %d facts", len(merged.Facts), len(direct.Facts))
+	}
+	if merged.Stats.Relations != direct.Stats.Relations {
+		t.Fatalf("merged %d relations, direct %d", merged.Stats.Relations, direct.Stats.Relations)
+	}
+	if merged.Stats.Generated != direct.Stats.Generated {
+		t.Fatalf("merged Generated %d, direct %d", merged.Stats.Generated, direct.Stats.Generated)
+	}
+}
+
+// TestOnRelationFactsAreCopies: records handed to OnRelation must not alias
+// core's reusable fact buffers — a worker keeps them until the unit uploads.
+func TestOnRelationFactsAreCopies(t *testing.T) {
+	ds, m, _ := testModel(t)
+	var records []RelationRecord
+	res, _, err := Run(context.Background(), Spec{
+		Model:      m,
+		Graph:      ds.Train,
+		Strategy:   core.NewEntityFrequency(),
+		Options:    testOptions(),
+		OnRelation: func(rec RelationRecord) { records = append(records, rec) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeRecords(records)
+	if !factsEqual(res.Facts, merged.Facts) {
+		t.Fatal("records retained after their callbacks no longer reproduce the run's facts")
+	}
+}

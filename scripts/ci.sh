@@ -34,6 +34,12 @@ echo "== journal-decoder fuzz smoke =="
 # recover the longest valid prefix of any byte soup without panicking.
 go test -run '^$' -fuzz '^FuzzJournalDecode$' -fuzztime 10s ./internal/jobs
 
+echo "== fleet wire-decoder fuzz smoke =="
+# Every coordinator endpoint ingests bytes from workers that may be killed
+# mid-write or partitioned mid-retry; arbitrary bodies must never panic and
+# must always produce well-formed JSON responses.
+go test -run '^$' -fuzz '^FuzzFleetDecode$' -fuzztime 10s ./internal/fleet
+
 echo "== determinism smoke =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -230,6 +236,87 @@ if ! cmp -s "$tmp/full.tsv" "$tmp/resumed.tsv"; then
   exit 1
 fi
 echo "crash-resume gate: SIGKILL mid-sweep, resumed $n of $m relations, byte-identical output"
+
+echo "== fleet fault-tolerance gate =="
+# Run the crash-resume gate's sweep through the distributed fleet: a one-shot
+# coordinator and two real worker processes, one of which is SIGKILLed while
+# it holds a lease. The coordinator must reassign the dead worker's units
+# (observable on /metrics) and the spliced TSV must still be byte-identical
+# to the single-process reference computed above ($tmp/full.tsv).
+go build -o "$tmp/kgfleet" ./cmd/kgfleet
+"$tmp/kgfleet" coord -data "$tmp/crashdata" -model "$tmp/crash.kge" \
+  -strategy graph_degree -top_n 4000 -max_candidates 4000 -seed 3 -limit 0 \
+  -unit 1 -lease 1500ms -poll 100ms -drain 2s -linger 30s \
+  -out "$tmp/fleet.tsv" >"$tmp/fleet-coord.out" 2>"$tmp/fleet-coord.log" &
+fleet_pid=$!
+fleet_addr=""
+for _ in $(seq 1 100); do
+  fleet_addr="$(sed -n 's/.*coordinator listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$tmp/fleet-coord.log" | head -n 1)"
+  [ -n "$fleet_addr" ] && break
+  sleep 0.1
+done
+if [ -z "$fleet_addr" ]; then
+  echo "fleet gate FAILED: coordinator never reported its address" >&2
+  cat "$tmp/fleet-coord.log" >&2
+  exit 1
+fi
+
+"$tmp/kgfleet" worker -coord "http://$fleet_addr" -name victim \
+  -fault-sleep-per-relation 700ms >"$tmp/fleet-victim.log" 2>&1 &
+victim_pid=$!
+"$tmp/kgfleet" worker -coord "http://$fleet_addr" -name survivor \
+  >"$tmp/fleet-survivor.log" 2>&1 &
+survivor_pid=$!
+
+# Kill the victim once it holds a lease and at least one unit is done
+# anywhere — a crash mid-unit by construction (its 700ms-per-relation stall
+# keeps its lease window open far longer than this poll's resolution).
+fleet_killed=0
+for _ in $(seq 1 600); do
+  status="$(curl -fsS "http://$fleet_addr/status" 2>/dev/null || true)"
+  # "|| true": pipefail would otherwise abort the script when grep matches
+  # nothing, i.e. on every poll before the first unit completes.
+  done_units="$(printf '%s' "$status" | grep -o '"state":"done"' | wc -l || true)"
+  if [ "$done_units" -ge 1 ] && printf '%s' "$status" | grep -q '"worker":"victim"'; then
+    kill -9 "$victim_pid" 2>/dev/null || break
+    fleet_killed=1
+    break
+  fi
+  sleep 0.05
+done
+wait "$victim_pid" 2>/dev/null || true
+if [ "$fleet_killed" -ne 1 ]; then
+  echo "fleet gate FAILED: sweep finished before the victim could be killed mid-lease" >&2
+  cat "$tmp/fleet-coord.log" >&2
+  exit 1
+fi
+
+# The sweep must still complete; the coordinator lingers so /metrics stays
+# scrapeable after completion.
+fleet_done=0
+for _ in $(seq 1 1200); do
+  if grep -q 'sweep complete:' "$tmp/fleet-coord.out"; then fleet_done=1; break; fi
+  kill -0 "$fleet_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if [ "$fleet_done" -ne 1 ]; then
+  echo "fleet gate FAILED: sweep never completed after the worker kill" >&2
+  cat "$tmp/fleet-coord.out" "$tmp/fleet-coord.log" >&2
+  exit 1
+fi
+reassigned="$(curl -fsS "http://$fleet_addr/metrics" | sed -n 's/^kgfleet_reassignments_total \([0-9][0-9]*\)$/\1/p' || true)"
+if [ -z "$reassigned" ] || [ "$reassigned" -lt 1 ]; then
+  echo "fleet gate FAILED: expected >=1 reassignment after SIGKILL, /metrics said '$reassigned'" >&2
+  exit 1
+fi
+kill -TERM "$fleet_pid"
+wait "$fleet_pid" || { echo "fleet gate FAILED: coordinator unclean exit" >&2; cat "$tmp/fleet-coord.log" >&2; exit 1; }
+wait "$survivor_pid" || { echo "fleet gate FAILED: surviving worker unclean exit" >&2; cat "$tmp/fleet-survivor.log" >&2; exit 1; }
+if ! cmp -s "$tmp/full.tsv" "$tmp/fleet.tsv"; then
+  echo "fleet gate FAILED: fleet TSV differs from the single-process reference" >&2
+  exit 1
+fi
+echo "fleet gate: worker SIGKILLed mid-lease, $reassigned reassignment(s), byte-identical output"
 
 echo "== flat-checkpoint serving + hot-swap gate =="
 # Serve the same trained weights from both checkpoint containers (gob decode
