@@ -16,6 +16,13 @@
 //	POST /query     {"subject":"e1","relation":"r0","k":10}
 //	POST /discover  {"strategy":"cluster_triangles","top_n":50,
 //	                 "max_candidates":100,"relations":["r0"],"limit":25}
+//	POST /mutate    {"seq":1,"source":"ingest","ops":[
+//	                 {"op":"add","s":"e1","r":"r0","o":"e2"}]}
+//
+// /mutate applies batched live graph mutations: indexes, graph statistics,
+// and the ranking filter update incrementally, and cached responses that
+// depended on a mutated relation are invalidated. With -mutation-log the
+// batches land in a durable WAL before applying and replay on restart.
 //
 // Sweeps too long to hold an HTTP request open run asynchronously:
 //
@@ -85,6 +92,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	pruneMode := fs.String("prune", "off", "prescreen every discovery sweep with an IVF/int8 index: off, exact (byte-identical output), or approx")
 	pruneCells := fs.Int("prune-cells", 0, "prune index cell count (0 = ceil(sqrt(|E|)))")
 	pruneProbe := fs.Int("prune-probe", 0, "cells visited per query with -prune=approx (0 = ceil(cells/8))")
+	mutationLog := fs.String("mutation-log", "", "durable WAL for POST /mutate batches; existing batches replay on startup (empty = mutations are in-memory only)")
+	maxMutationOps := fs.Int("max-mutation-ops", 1000, "max ops per /mutate batch (larger batches get 413; negative disables the endpoint)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +123,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		PruneMode:       *pruneMode,
 		PruneCells:      *pruneCells,
 		PruneProbe:      *pruneProbe,
+		MutationLog:     *mutationLog,
+		MaxMutationOps:  *maxMutationOps,
 		// The sidecar lives next to the checkpoint so restarts skip the
 		// k-means build as long as the weights have not changed.
 		PruneIndexPath: kge.SidecarPath(*modelPath),

@@ -1,0 +1,169 @@
+package graphstats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// TestLiveMatchesRebuild drives a random triple mutation stream — adds,
+// deletes, self-loops, parallel edges, and forced delete-then-readd of the
+// same edge — through both a Live projection and from-scratch rebuilds, and
+// checks after every step that adjacency, Triangles, and LocalClustering
+// agree exactly. It also validates the EdgeDelta affected sets: any node
+// outside delta.Touched must keep its exact degree/T(v)/c(v), and any node
+// outside delta.Square must keep its exact c₄(v) — that soundness is what
+// lets the mutate layer skip clean relations.
+func TestLiveMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nEnt, nRel = 18, 3
+
+	g := kg.NewGraph()
+	for e := 0; e < nEnt; e++ {
+		g.Entities.Intern(string(rune('A' + e)))
+	}
+	for r := 0; r < nRel; r++ {
+		g.Relations.Intern(string(rune('p' + r)))
+	}
+	live := NewLive(g)
+
+	var present []kg.Triple
+	var lastDeleted kg.Triple
+	haveDeleted := false
+
+	check := func(step int, delta EdgeDelta, preTri []int64, preDeg []int, preC, preC4 []float64) {
+		u := BuildUndirected(g)
+		lu := live.Undirected()
+		for v := 0; v < nEnt; v++ {
+			if !reflect.DeepEqual(normNb(lu.Neighbors(kg.EntityID(v))), normNb(u.Neighbors(kg.EntityID(v)))) {
+				t.Fatalf("step %d: adjacency of %d: live %v scratch %v",
+					step, v, lu.Neighbors(kg.EntityID(v)), u.Neighbors(kg.EntityID(v)))
+			}
+		}
+		wantTri := u.Triangles()
+		gotTri := live.TriangleCounts()
+		for v := 0; v < nEnt; v++ {
+			if gotTri[v] != wantTri[v] {
+				t.Fatalf("step %d: T(%d): live %d scratch %d", step, v, gotTri[v], wantTri[v])
+			}
+		}
+		wantC := u.LocalClustering(wantTri)
+		gotC := lu.LocalClustering(gotTri)
+		for v := 0; v < nEnt; v++ {
+			if gotC[v] != wantC[v] {
+				t.Fatalf("step %d: c(%d): live %g scratch %g", step, v, gotC[v], wantC[v])
+			}
+		}
+		// Soundness of the affected sets: nodes outside them must be
+		// byte-for-byte unchanged from before the mutation.
+		touched := toSet(delta.Touched)
+		square := toSet(delta.Square)
+		c4 := u.SquareClustering()
+		for v := 0; v < nEnt; v++ {
+			id := kg.EntityID(v)
+			if _, in := touched[id]; !in {
+				if u.Degree(id) != preDeg[v] || wantTri[v] != preTri[v] || wantC[v] != preC[v] {
+					t.Fatalf("step %d: node %d outside Touched changed: deg %d→%d T %d→%d c %g→%g",
+						step, v, preDeg[v], u.Degree(id), preTri[v], wantTri[v], preC[v], wantC[v])
+				}
+			}
+			if _, in := square[id]; !in {
+				if math.Abs(c4[v]-preC4[v]) > 0 {
+					t.Fatalf("step %d: node %d outside Square changed c4 %g→%g", step, v, preC4[v], c4[v])
+				}
+			}
+		}
+	}
+
+	snapshot := func() ([]int64, []int, []float64, []float64) {
+		u := BuildUndirected(g)
+		tri := u.Triangles()
+		deg := make([]int, nEnt)
+		for v := 0; v < nEnt; v++ {
+			deg[v] = u.Degree(kg.EntityID(v))
+		}
+		return tri, deg, u.LocalClustering(tri), u.SquareClustering()
+	}
+
+	for step := 0; step < 220; step++ {
+		preTri, preDeg, preC, preC4 := snapshot()
+		var delta EdgeDelta
+		switch {
+		case haveDeleted && step%11 == 0 && !g.Contains(lastDeleted):
+			// Delete-then-readd of the same edge.
+			g.Add(lastDeleted)
+			delta = live.AddTriple(lastDeleted.S, lastDeleted.O)
+			present = append(present, lastDeleted)
+		case len(present) > 4 && rng.Intn(3) == 0:
+			i := rng.Intn(len(present))
+			tr := present[i]
+			g.Delete(tr)
+			delta = live.RemoveTriple(tr.S, tr.O)
+			present[i] = present[len(present)-1]
+			present = present[:len(present)-1]
+			lastDeleted, haveDeleted = tr, true
+		default:
+			tr := kg.Triple{
+				S: kg.EntityID(rng.Intn(nEnt)),
+				R: kg.RelationID(rng.Intn(nRel)),
+				O: kg.EntityID(rng.Intn(nEnt)),
+			}
+			if rng.Intn(10) == 0 {
+				tr.O = tr.S // force self-loops into the stream
+			}
+			if !g.Add(tr) {
+				continue
+			}
+			delta = live.AddTriple(tr.S, tr.O)
+			present = append(present, tr)
+		}
+		check(step, delta, preTri, preDeg, preC, preC4)
+	}
+}
+
+// TestLiveParallelEdges checks that only 0↔1 multiplicity transitions are
+// structural: a second triple over the same undirected edge (other relation,
+// or reversed direction) must report a non-structural delta and leave the
+// projection untouched.
+func TestLiveParallelEdges(t *testing.T) {
+	g := kg.NewGraph()
+	t1 := g.AddNamed("a", "r1", "b")
+	live := NewLive(g)
+
+	t2 := g.AddNamed("b", "r2", "a") // reversed duplicate of the same edge
+	if d := live.AddTriple(t2.S, t2.O); d.Structural {
+		t.Fatal("parallel edge reported structural")
+	}
+	if d := live.RemoveTriple(t1.S, t1.O); d.Structural {
+		t.Fatal("removing one of two parallel triples reported structural")
+	}
+	g.Delete(t1)
+	if !live.Undirected().HasEdge(0, 1) {
+		t.Fatal("edge vanished while one parallel triple remains")
+	}
+	g.Delete(t2)
+	if d := live.RemoveTriple(t2.S, t2.O); !d.Structural {
+		t.Fatal("removing the last parallel triple was not structural")
+	}
+	if live.Undirected().HasEdge(0, 1) {
+		t.Fatal("edge survived removal of its last triple")
+	}
+}
+
+func normNb(s []kg.EntityID) []kg.EntityID {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+func toSet(s []kg.EntityID) map[kg.EntityID]struct{} {
+	m := make(map[kg.EntityID]struct{}, len(s))
+	for _, v := range s {
+		m[v] = struct{}{}
+	}
+	return m
+}

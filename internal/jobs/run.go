@@ -157,10 +157,10 @@ func Run(ctx context.Context, spec Spec) (*core.Result, RunInfo, error) {
 	return run(ctx, spec, core.DiscoverFacts)
 }
 
-// normalize applies the same defaulting core.DiscoverFacts would, so the
-// options hash is identical whether the caller spelled defaults explicitly
-// or left them zero.
-func normalize(o core.Options) core.Options {
+// NormalizeOptions applies the same defaulting core.DiscoverFacts would, so
+// the options hash is identical whether the caller spelled defaults
+// explicitly or left them zero.
+func NormalizeOptions(o core.Options) core.Options {
 	if o.TopN == 0 {
 		o.TopN = 500
 	}
@@ -174,7 +174,7 @@ func normalize(o core.Options) core.Options {
 }
 
 func run(ctx context.Context, spec Spec, discover discoverFunc) (*core.Result, RunInfo, error) {
-	opts := normalize(spec.Options)
+	opts := NormalizeOptions(spec.Options)
 	relations := opts.Relations
 	if relations == nil {
 		relations = spec.Graph.RelationIDs()

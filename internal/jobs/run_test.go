@@ -261,28 +261,28 @@ func TestRunRelationSubsetDecomposition(t *testing.T) {
 func TestOptionsHashNormalization(t *testing.T) {
 	ds, _, _ := testModel(t)
 	rels := ds.Train.RelationIDs()
-	base := OptionsHash("s", ds.Train, normalize(core.Options{}), rels)
-	explicit := OptionsHash("s", ds.Train, normalize(core.Options{TopN: 500, MaxCandidates: 500, MaxIterations: 5}), rels)
+	base := OptionsHash("s", ds.Train, NormalizeOptions(core.Options{}), rels)
+	explicit := OptionsHash("s", ds.Train, NormalizeOptions(core.Options{TopN: 500, MaxCandidates: 500, MaxIterations: 5}), rels)
 	if base != explicit {
 		t.Error("defaulted and explicit options hash differently")
 	}
-	workers := normalize(core.Options{})
+	workers := NormalizeOptions(core.Options{})
 	workers.Workers = 8
 	if OptionsHash("s", ds.Train, workers, rels) != base {
 		t.Error("worker count changed the hash (it never changes output)")
 	}
-	seeded := normalize(core.Options{Seed: 3})
+	seeded := NormalizeOptions(core.Options{Seed: 3})
 	if OptionsHash("s", ds.Train, seeded, rels) == base {
 		t.Error("seed change did not change the hash")
 	}
-	if OptionsHash("other", ds.Train, normalize(core.Options{}), rels) == base {
+	if OptionsHash("other", ds.Train, NormalizeOptions(core.Options{}), rels) == base {
 		t.Error("strategy change did not change the hash")
 	}
 	// Relation order is canonicalized away.
 	if len(rels) >= 2 {
 		rev := append([]kg.RelationID(nil), rels...)
 		rev[0], rev[1] = rev[1], rev[0]
-		if OptionsHash("s", ds.Train, normalize(core.Options{}), rev) != base {
+		if OptionsHash("s", ds.Train, NormalizeOptions(core.Options{}), rev) != base {
 			t.Error("relation order changed the hash")
 		}
 	}
@@ -295,37 +295,37 @@ func TestOptionsHashNormalization(t *testing.T) {
 func TestOptionsHashPruneCompat(t *testing.T) {
 	ds, _, _ := testModel(t)
 	rels := ds.Train.RelationIDs()
-	base := OptionsHash("s", ds.Train, normalize(core.Options{}), rels)
+	base := OptionsHash("s", ds.Train, NormalizeOptions(core.Options{}), rels)
 
-	off := normalize(core.Options{PruneMode: core.PruneOff})
+	off := NormalizeOptions(core.Options{PruneMode: core.PruneOff})
 	if OptionsHash("s", ds.Train, off, rels) != base {
 		t.Error(`PruneMode "off" changed the hash — old WALs would be rejected`)
 	}
 	// Stray knobs with pruning off are inert and must stay out of the hash.
-	offKnobs := normalize(core.Options{PruneMode: core.PruneOff, PruneCells: 64, PruneProbe: 3})
+	offKnobs := NormalizeOptions(core.Options{PruneMode: core.PruneOff, PruneCells: 64, PruneProbe: 3})
 	if OptionsHash("s", ds.Train, offKnobs, rels) != base {
 		t.Error("prune knobs changed the hash while pruning was off")
 	}
 
-	exact := normalize(core.Options{PruneMode: core.PruneExact})
+	exact := NormalizeOptions(core.Options{PruneMode: core.PruneExact})
 	exactHash := OptionsHash("s", ds.Train, exact, rels)
 	if exactHash == base {
 		t.Error("enabling exact pruning did not change the hash")
 	}
-	approx := normalize(core.Options{PruneMode: core.PruneApprox})
+	approx := NormalizeOptions(core.Options{PruneMode: core.PruneApprox})
 	if OptionsHash("s", ds.Train, approx, rels) == exactHash {
 		t.Error("exact and approx modes hash identically")
 	}
-	cells := normalize(core.Options{PruneMode: core.PruneExact, PruneCells: 64})
+	cells := NormalizeOptions(core.Options{PruneMode: core.PruneExact, PruneCells: 64})
 	if OptionsHash("s", ds.Train, cells, rels) == exactHash {
 		t.Error("cell count did not change the hash with pruning on")
 	}
 	// Probe only matters (and only hashes) in approx mode.
-	exactProbe := normalize(core.Options{PruneMode: core.PruneExact, PruneProbe: 3})
+	exactProbe := NormalizeOptions(core.Options{PruneMode: core.PruneExact, PruneProbe: 3})
 	if OptionsHash("s", ds.Train, exactProbe, rels) != exactHash {
 		t.Error("probe changed the hash in exact mode, where it is ignored")
 	}
-	approxProbe := normalize(core.Options{PruneMode: core.PruneApprox, PruneProbe: 3})
+	approxProbe := NormalizeOptions(core.Options{PruneMode: core.PruneApprox, PruneProbe: 3})
 	if OptionsHash("s", ds.Train, approxProbe, rels) == OptionsHash("s", ds.Train, approx, rels) {
 		t.Error("probe did not change the hash in approx mode")
 	}
@@ -348,7 +348,7 @@ func TestOptionsHashGolden(t *testing.T) {
 	rels := []kg.RelationID{0, 1}
 
 	const want = "2b27c453412be083ce2683a7d5861cde54e3e242dbeef17c8284feda9053385d"
-	if got := OptionsHash("entity_frequency", g, normalize(core.Options{Seed: 42}), rels); got != want {
+	if got := OptionsHash("entity_frequency", g, NormalizeOptions(core.Options{Seed: 42}), rels); got != want {
 		t.Errorf("pre-pruning options hash drifted:\n got %s\nwant %s", got, want)
 	}
 }

@@ -15,14 +15,14 @@ import (
 //     inputs to the UNIFORM RANDOM and ENTITY FREQUENCY strategies),
 //   - global per-entity subject/object/total occurrence counts.
 //
-// A Graph is cheap to query concurrently once built; mutation (Add) is not
-// safe for concurrent use.
+// A Graph is cheap to query concurrently once built; mutation (Add, Delete)
+// is not safe for concurrent use.
 type Graph struct {
 	Entities  *Dict
 	Relations *Dict
 
 	triples []Triple
-	set     map[Triple]struct{}
+	set     map[Triple]tripleLoc
 
 	byRelation map[RelationID][]Triple
 
@@ -48,6 +48,14 @@ type srKey struct {
 	r RelationID
 }
 
+// tripleLoc records where a triple lives inside the two positional slices so
+// Delete can swap-remove it in O(1). Discovery never depends on slice order
+// (candidate pools are sorted, membership is a set), so swap-remove is safe.
+type tripleLoc struct {
+	pos    int // index in triples
+	relPos int // index in byRelation[R]
+}
+
 // NewGraph returns an empty graph with fresh entity and relation dictionaries.
 func NewGraph() *Graph {
 	return NewGraphWithDicts(NewDict(), NewDict())
@@ -59,7 +67,7 @@ func NewGraphWithDicts(entities, relations *Dict) *Graph {
 	return &Graph{
 		Entities:   entities,
 		Relations:  relations,
-		set:        make(map[Triple]struct{}),
+		set:        make(map[Triple]tripleLoc),
 		byRelation: make(map[RelationID][]Triple),
 	}
 }
@@ -69,13 +77,143 @@ func (g *Graph) Add(t Triple) bool {
 	if _, ok := g.set[t]; ok {
 		return false
 	}
-	g.set[t] = struct{}{}
+	g.set[t] = tripleLoc{pos: len(g.triples), relPos: len(g.byRelation[t.R])}
 	g.triples = append(g.triples, t)
 	g.byRelation[t.R] = append(g.byRelation[t.R], t)
 	g.bump(&g.subjectCount, t.S)
 	g.bump(&g.objectCount, t.O)
-	g.dirty = true
+	if g.tablesLive() {
+		g.sideAdd(t)
+	} else {
+		g.dirty = true
+	}
 	return true
+}
+
+// Delete removes t if present and reports whether it was removed. Side tables
+// that are already built are maintained incrementally; otherwise the next
+// query triggers the usual lazy rebuild.
+func (g *Graph) Delete(t Triple) bool {
+	loc, ok := g.set[t]
+	if !ok {
+		return false
+	}
+	delete(g.set, t)
+	if last := len(g.triples) - 1; loc.pos != last {
+		moved := g.triples[last]
+		g.triples[loc.pos] = moved
+		ml := g.set[moved]
+		ml.pos = loc.pos
+		g.set[moved] = ml
+		g.triples = g.triples[:last]
+	} else {
+		g.triples = g.triples[:last]
+	}
+	rel := g.byRelation[t.R]
+	if last := len(rel) - 1; loc.relPos != last {
+		moved := rel[last]
+		rel[loc.relPos] = moved
+		ml := g.set[moved]
+		ml.relPos = loc.relPos
+		g.set[moved] = ml
+		rel = rel[:last]
+	} else {
+		rel = rel[:last]
+	}
+	if len(rel) == 0 {
+		delete(g.byRelation, t.R)
+	} else {
+		g.byRelation[t.R] = rel
+	}
+	g.subjectCount[t.S]--
+	g.objectCount[t.O]--
+	if g.tablesLive() {
+		g.sideDelete(t)
+	} else {
+		g.dirty = true
+	}
+	return true
+}
+
+// tablesLive reports whether the per-relation side tables are built and in
+// sync with the triple set, so mutations can maintain them incrementally
+// instead of marking the graph dirty for a full lazy rebuild.
+func (g *Graph) tablesLive() bool {
+	return g.relSubjects != nil && !g.dirty
+}
+
+// sideAdd folds one inserted triple into the live side tables, keeping them
+// exactly equal to what rebuildSideTables would produce from scratch.
+func (g *Graph) sideAdd(t Triple) {
+	sc := g.relSubjectCount[t.R]
+	if sc == nil {
+		sc = make(map[EntityID]int64)
+		g.relSubjectCount[t.R] = sc
+	}
+	sc[t.S]++
+	if sc[t.S] == 1 {
+		g.relSubjects[t.R] = insertSorted(g.relSubjects[t.R], t.S)
+	}
+	oc := g.relObjectCount[t.R]
+	if oc == nil {
+		oc = make(map[EntityID]int64)
+		g.relObjectCount[t.R] = oc
+	}
+	oc[t.O]++
+	if oc[t.O] == 1 {
+		g.relObjects[t.R] = insertSorted(g.relObjects[t.R], t.O)
+	}
+	k := srKey{t.S, t.R}
+	g.srObjects[k] = insertSorted(g.srObjects[k], t.O)
+}
+
+// sideDelete removes one deleted triple from the live side tables, deleting
+// map entries that become empty so the result matches a from-scratch rebuild.
+func (g *Graph) sideDelete(t Triple) {
+	sc := g.relSubjectCount[t.R]
+	sc[t.S]--
+	if sc[t.S] == 0 {
+		delete(sc, t.S)
+		g.relSubjects[t.R] = removeSorted(g.relSubjects[t.R], t.S)
+	}
+	if len(sc) == 0 {
+		delete(g.relSubjectCount, t.R)
+		delete(g.relSubjects, t.R)
+	}
+	oc := g.relObjectCount[t.R]
+	oc[t.O]--
+	if oc[t.O] == 0 {
+		delete(oc, t.O)
+		g.relObjects[t.R] = removeSorted(g.relObjects[t.R], t.O)
+	}
+	if len(oc) == 0 {
+		delete(g.relObjectCount, t.R)
+		delete(g.relObjects, t.R)
+	}
+	k := srKey{t.S, t.R}
+	if os := removeSorted(g.srObjects[k], t.O); len(os) == 0 {
+		delete(g.srObjects, k)
+	} else {
+		g.srObjects[k] = os
+	}
+}
+
+// insertSorted inserts e into the ascending slice s, keeping it sorted.
+func insertSorted(s []EntityID, e EntityID) []EntityID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	return s
+}
+
+// removeSorted removes one occurrence of e from the ascending slice s.
+func removeSorted(s []EntityID, e EntityID) []EntityID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
+	if i >= len(s) || s[i] != e {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
 }
 
 func (g *Graph) bump(counts *[]int64, e EntityID) {

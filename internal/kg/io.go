@@ -91,7 +91,16 @@ func SaveDataset(d *Dataset, dir string) error {
 // LoadDataset reads train.txt, valid.txt and test.txt from dir into a
 // Dataset whose splits share dictionaries. Train is read first so that the
 // common case (all vocabulary in train) yields train-dense IDs.
+//
+// If dir contains an entity_ids.del file the directory is treated as a
+// LibKGE-format dataset instead: that layout carries explicit dense IDs, so a
+// dataset dumped after mutations reloads with the exact entity-ID-to-
+// embedding-row mapping the model was trained against (a plain TSV reload
+// would re-intern in file order and silently misalign the rows).
 func LoadDataset(name, dir string) (*Dataset, error) {
+	if _, err := os.Stat(filepath.Join(dir, "entity_ids.del")); err == nil {
+		return LoadLibKGEDataset(name, dir)
+	}
 	ents, rels := NewDict(), NewDict()
 	d := &Dataset{
 		Name:  name,

@@ -1,0 +1,79 @@
+package mutate
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/kg"
+)
+
+// IncrementalDiscover re-runs discovery for the dirty relations only and
+// splices the clean relations' results from the prior sweep's records,
+// producing a result byte-identical to a from-scratch core.DiscoverFacts run
+// on the mutated graph with the same options.
+//
+// Three properties make the splice exact:
+//
+//   - each relation's sweep is a pure function of that relation's candidate
+//     pools and the strategy's node statistics (core seeds a per-relation
+//     RNG stream with relationSeed(seed, r)),
+//   - the dirty set is sound: every relation whose pools or statistics
+//     changed is in it (DirtyRelations), so every kept record is the exact
+//     output a fresh sweep of that relation would produce,
+//   - jobs.MergeRecords orders the merged facts with core.SortFactsByRank,
+//     the same canonical total order DiscoverFacts itself applies.
+//
+// prior records for relations that no longer exist in g are dropped (such
+// relations necessarily had a net change, so they are dirty); dirty relations
+// with no surviving triples simply vanish from the output, exactly as a
+// from-scratch run would omit them.
+//
+// It returns the merged result plus the complete per-relation record set
+// (kept and fresh, sorted by relation), which callers can journal as the
+// baseline for the next increment.
+func IncrementalDiscover(ctx context.Context, spec jobs.Spec, prior []jobs.RelationRecord, dirty []kg.RelationID) (*core.Result, []jobs.RelationRecord, error) {
+	relations := spec.Options.Relations
+	if relations == nil {
+		relations = spec.Graph.RelationIDs()
+	}
+	dirtySet := make(map[kg.RelationID]bool, len(dirty))
+	for _, r := range dirty {
+		dirtySet[r] = true
+	}
+	priorByRel := make(map[kg.RelationID]jobs.RelationRecord, len(prior))
+	for _, rec := range prior {
+		priorByRel[rec.Relation] = rec
+	}
+
+	var kept []jobs.RelationRecord
+	var resweep []kg.RelationID
+	for _, r := range relations {
+		rec, hasPrior := priorByRel[r]
+		if hasPrior && !dirtySet[r] {
+			kept = append(kept, rec)
+		} else {
+			resweep = append(resweep, r)
+		}
+	}
+
+	all := kept
+	if len(resweep) > 0 {
+		runSpec := spec
+		runSpec.Journal = "" // journaling a partial sweep would checkpoint only the dirty slice
+		runSpec.Options.Relations = resweep
+		prevOnRelation := spec.OnRelation
+		runSpec.OnRelation = func(rec jobs.RelationRecord) {
+			all = append(all, rec)
+			if prevOnRelation != nil {
+				prevOnRelation(rec)
+			}
+		}
+		if _, _, err := jobs.Run(ctx, runSpec); err != nil {
+			return nil, nil, err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Relation < all[j].Relation })
+	return jobs.MergeRecords(all), all, nil
+}

@@ -1,0 +1,106 @@
+package mutate
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/kg"
+)
+
+// fuzzGraph builds a tiny fixed graph for exercising Apply on decoded
+// batches; names e0..e3 and r0..r1 are interned so some fuzzed batches
+// validate and actually apply.
+func fuzzGraph() *kg.Graph {
+	g := kg.NewGraph()
+	g.AddNamed("e0", "r0", "e1")
+	g.AddNamed("e1", "r0", "e2")
+	g.AddNamed("e2", "r1", "e3")
+	g.AddNamed("e3", "r1", "e0")
+	g.BuildIndexes()
+	return g
+}
+
+// FuzzMutationDecode throws arbitrary bytes at both mutation decoders: the
+// /mutate request body (JSON into Batch, then a full Apply against a fresh
+// state) and the mutation-log frame decoder. The log is whatever a crash
+// left on disk and the request body is whatever a client sent, so the
+// invariants are absolute: never panic, never claim a prefix longer than
+// the input, keep the claimed prefix stable under re-decode, and reject
+// without mutating state.
+func FuzzMutationDecode(f *testing.F) {
+	// Seed corpus: a healthy log, truncations, corruptions, and plain
+	// request bodies.
+	var healthy bytes.Buffer
+	for _, rec := range []logRecord{
+		{Header: &LogHeader{Version: logVersion, Dataset: "tiny"}},
+		{Batch: &Batch{Seq: 1, Source: "s", Ops: []Op{{Kind: OpAdd, S: "e0", R: "r1", O: "e2"}}}},
+		{Batch: &Batch{Seq: 2, Ops: []Op{{Kind: OpDelete, S: "e0", R: "r0", O: "e1"}}}},
+	} {
+		line, err := encodeLogLine(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		healthy.Write(line)
+	}
+	hb := healthy.Bytes()
+	f.Add(hb)
+	f.Add(hb[:len(hb)/2])
+	f.Add(hb[:len(hb)-1])
+	f.Add(append(append([]byte{}, hb...), []byte("{\"crc\":0,\"rec\":{}}\n")...))
+	corrupted := append([]byte{}, hb...)
+	corrupted[len(corrupted)/3] ^= 0x20
+	f.Add(corrupted)
+	f.Add([]byte(`{"seq":1,"ops":[{"op":"add","s":"e0","r":"r0","o":"e3"}]}`))
+	f.Add([]byte(`{"seq":1,"ops":[{"op":"upsert","s":"e0","r":"r0","o":"e3"}]}`))
+	f.Add([]byte(`{"seq":9,"ops":[]}`))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Request-body path: decode, then apply to a fresh state. A batch
+		// that fails validation must leave the graph untouched.
+		var b Batch
+		if err := json.Unmarshal(data, &b); err == nil {
+			g := fuzzGraph()
+			before := g.Len()
+			st := NewState(g, nil, nil)
+			if ap, err := st.Apply(b); err != nil {
+				if g.Len() != before || st.Seq() != 0 {
+					t.Fatalf("rejected batch mutated state: len %d->%d seq %d", before, g.Len(), st.Seq())
+				}
+			} else if ap.Seq != b.Seq || st.Seq() != b.Seq {
+				t.Fatalf("applied batch seq mismatch: %d vs %d", ap.Seq, st.Seq())
+			}
+		}
+
+		// Log path: longest-valid-prefix invariants.
+		hdr, batches, valid := DecodeLog(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid prefix %d outside [0, %d]", valid, len(data))
+		}
+		if hdr == nil && len(batches) > 0 {
+			t.Fatal("batches without a header")
+		}
+		for i, b := range batches {
+			if b.Seq != int64(i)+1 {
+				t.Fatalf("batch %d has seq %d, prefix not contiguous", i, b.Seq)
+			}
+		}
+		hdr2, batches2, valid2 := DecodeLog(data[:valid])
+		if valid2 != valid || len(batches2) != len(batches) || (hdr == nil) != (hdr2 == nil) {
+			t.Fatalf("prefix unstable: %d/%d bytes, %d/%d batches", valid, valid2, len(batches), len(batches2))
+		}
+		if hdr != nil && *hdr != *hdr2 {
+			t.Fatalf("prefix unstable: header %+v then %+v", hdr, hdr2)
+		}
+		// Garbage after a line-terminated valid prefix must not extend it.
+		if valid == 0 || data[valid-1] == '\n' {
+			garbled := append(append([]byte{}, data[:valid]...), []byte("!corrupt tail")...)
+			_, batches3, valid3 := DecodeLog(garbled)
+			if valid3 != valid || len(batches3) != len(batches) {
+				t.Fatalf("garbage tail changed prefix: %d/%d bytes", valid3, valid)
+			}
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/kg"
 )
 
 // lruCache is a mutex-guarded LRU over rendered response bodies. Values are
@@ -18,9 +20,17 @@ type lruCache struct {
 	onEvict func()
 }
 
+// lruEntry tags each cached body with the relations it depends on, under a
+// precise contract: a non-nil rels slice asserts the response is a function
+// of the model weights (pinned by the key's fingerprint) and the *per-
+// relation* data of exactly those relations — pools, counts, membership,
+// (s,r) adjacency. Such entries survive a mutation batch unless one of their
+// relations had a net triple change. rels == nil makes no such claim, so the
+// entry is dropped on any effective mutation.
 type lruEntry struct {
 	key  string
 	body []byte
+	rels []kg.RelationID
 }
 
 // newLRUCache returns a cache holding at most capacity entries. onEvict, if
@@ -51,7 +61,9 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).body, true
 }
 
-func (c *lruCache) Add(key string, body []byte) {
+// Add caches body under key with the given relation tag (see lruEntry for
+// the tag contract; nil means "invalidate on any effective mutation").
+func (c *lruCache) Add(key string, body []byte, rels []kg.RelationID) {
 	if c == nil {
 		return
 	}
@@ -59,10 +71,12 @@ func (c *lruCache) Add(key string, body []byte) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).body = body
+		e := el.Value.(*lruEntry)
+		e.body = body
+		e.rels = rels
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body, rels: rels})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -71,6 +85,41 @@ func (c *lruCache) Add(key string, body []byte) {
 			c.onEvict()
 		}
 	}
+}
+
+// InvalidateRelations drops every entry a mutation batch could have staled:
+// entries with a nil tag, and tagged entries whose relations intersect dirty
+// (the batch's net-changed relations). It returns how many entries were
+// dropped. Callers only invoke it for effective batches (dirty non-empty).
+func (c *lruCache) InvalidateRelations(dirty []kg.RelationID) int {
+	if c == nil {
+		return 0
+	}
+	dirtySet := make(map[kg.RelationID]struct{}, len(dirty))
+	for _, r := range dirty {
+		dirtySet[r] = struct{}{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*lruEntry)
+		stale := e.rels == nil
+		for _, r := range e.rels {
+			if _, ok := dirtySet[r]; ok {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
 }
 
 func (c *lruCache) Len() int {

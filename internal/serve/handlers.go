@@ -102,7 +102,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	score := sm.model.Score(t)
-	resp := map[string]any{"score": score, "known": s.ds.All().Contains(t)}
+	s.kgMu.RLock()
+	known := s.all.Contains(t)
+	s.kgMu.RUnlock()
+	resp := map[string]any{"score": score, "known": known}
 	if sm.calibrator != nil {
 		resp["probability"] = sm.calibrator.Prob(score)
 	}
@@ -125,7 +128,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"rank": sm.ranker.RankObject(t)})
+	// The ranker reads the shared filter graph's (s, r) adjacency.
+	s.kgMu.RLock()
+	rank := sm.ranker.RankObject(t)
+	s.kgMu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"rank": rank})
 }
 
 type queryRequest struct {
@@ -191,11 +198,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.incCacheMiss()
 	body, err, joined := s.flight.Do(key, func() ([]byte, error) {
-		b, err := s.runQuery(sm, kg.EntityID(sid), kg.RelationID(rid), k)
-		if err == nil {
-			s.cache.Add(key, b)
-		}
-		return b, err
+		return s.runQuery(sm, key, kg.EntityID(sid), kg.RelationID(rid), k)
 	})
 	if joined {
 		s.metrics.incDedup()
@@ -210,27 +213,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSONBody(w, http.StatusOK, body)
 }
 
-// runQuery performs one full object sweep for (s, r) against sm and renders
-// the top-k answer body. The caller holds a reference on sm for the
+// runQuery performs one full object sweep for (s, r) against sm, renders the
+// top-k answer body, and caches it tagged with rid (the response depends on
+// the weights and on rid's membership only). The graph read and the cache
+// add share one read-lock hold: a mutation can therefore never interleave
+// between this body being rendered and it entering the cache, which would
+// outlive the invalidation. The caller holds a reference on sm for the
 // duration (single-flight waiters ride on the leader's reference).
-func (s *Server) runQuery(sm *servedModel, sid kg.EntityID, rid kg.RelationID, k int) ([]byte, error) {
+func (s *Server) runQuery(sm *servedModel, key string, sid kg.EntityID, rid kg.RelationID, k int) ([]byte, error) {
 	scores := sm.model.ScoreAllObjects(sid, rid, make([]float32, sm.model.NumEntities()))
 	order := make([]int, len(scores))
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
-	all := s.ds.All()
+	s.kgMu.RLock()
+	defer s.kgMu.RUnlock()
 	answers := make([]queryAnswer, 0, k)
 	for _, o := range order[:k] {
 		t := kg.Triple{S: sid, R: rid, O: kg.EntityID(o)}
 		answers = append(answers, queryAnswer{
 			Object: s.ds.Train.Entities.Name(int32(o)),
 			Score:  scores[o],
-			Known:  all.Contains(t),
+			Known:  s.all.Contains(t),
 		})
 	}
-	return json.Marshal(map[string]any{"answers": answers})
+	b, err := json.Marshal(map[string]any{"answers": answers})
+	if err == nil {
+		s.cache.Add(key, b, []kg.RelationID{rid})
+	}
+	return b, err
 }
 
 type discoverRequest struct {
@@ -321,12 +333,20 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.incCacheMiss()
-	body, err, joined := s.flight.Do(key, func() ([]byte, error) {
-		b, err := s.runDiscover(sm, strategy, relations, req)
-		if err == nil {
-			s.cache.Add(key, b)
+	// Relation tags (see lruEntry): only the pool-driven strategies produce
+	// responses that depend solely on the requested relations' own data —
+	// every node-statistic strategy reads entity statistics other relations'
+	// mutations can move (mixed_exploration even renormalizes globally), so
+	// their entries carry the nil tag and drop on any effective mutation.
+	var tag []kg.RelationID
+	switch req.Strategy {
+	case "uniform_random", "entity_frequency":
+		if len(relations) > 0 {
+			tag = relations
 		}
-		return b, err
+	}
+	body, err, joined := s.flight.Do(key, func() ([]byte, error) {
+		return s.runDiscover(sm, strategy, relations, req, key, tag)
 	})
 	if joined {
 		s.metrics.incDedup()
@@ -355,7 +375,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 // request's context, so a single client disconnect cannot cancel a sweep
 // that other coalesced requests are waiting on. The caller holds a
 // reference on sm for the duration.
-func (s *Server) runDiscover(sm *servedModel, strategy core.Strategy, relations []kg.RelationID, req discoverRequest) ([]byte, error) {
+func (s *Server) runDiscover(sm *servedModel, strategy core.Strategy, relations []kg.RelationID, req discoverRequest, key string, tag []kg.RelationID) ([]byte, error) {
 	select {
 	case s.discoverSem <- struct{}{}:
 	default:
@@ -373,10 +393,19 @@ func (s *Server) runDiscover(sm *servedModel, strategy core.Strategy, relations 
 		Seed:          req.Seed,
 	}
 	s.applyPruneOptions(sm, &opts)
+	// The sweep reads the live graph; excluding mutations for its duration
+	// (and caching inside the same hold, so the entry can never slip in
+	// after an invalidation it should have been covered by).
+	s.kgMu.RLock()
+	defer s.kgMu.RUnlock()
 	res, err := s.discover(ctx, sm.model, s.ds.Train, strategy, opts)
 	if err != nil {
 		return nil, err
 	}
 	s.metrics.observeDiscovery(res.Stats)
-	return s.renderResult(res, req.Limit)
+	b, err := s.renderResult(res, req.Limit)
+	if err == nil {
+		s.cache.Add(key, b, tag)
+	}
+	return b, err
 }

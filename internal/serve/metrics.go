@@ -47,6 +47,13 @@ type metrics struct {
 	rejected       uint64 // /discover requests refused with 429 (semaphore full)
 	panics         uint64 // handler panics converted to 500 by the recovery middleware
 
+	// Mutation counters (POST /mutate).
+	mutationBatches    uint64 // batches applied
+	mutationAdds       uint64 // ops that inserted a triple not previously present
+	mutationDeletes    uint64 // ops that removed a present triple
+	mutationRejected   uint64 // batches refused: sequence gap, validation, size
+	cacheInvalidations uint64 // cache entries dropped by mutation invalidation
+
 	// Ranking counters, accumulated from every completed discovery run
 	// (synchronous /discover and async jobs alike) via observeDiscovery.
 	scoreSweeps   uint64 // score sweeps: one per distinct (s, r) candidate group
@@ -117,12 +124,24 @@ func (m *metrics) observeDiscovery(st core.Stats) {
 	m.mu.Unlock()
 }
 
+// observeMutation folds one applied batch into the mutation counters.
+func (m *metrics) observeMutation(adds, deletes, invalidated int) {
+	m.mu.Lock()
+	m.mutationBatches++
+	m.mutationAdds += uint64(adds)
+	m.mutationDeletes += uint64(deletes)
+	m.cacheInvalidations += uint64(invalidated)
+	m.mu.Unlock()
+}
+
 func (m *metrics) incCacheHit()  { m.add(&m.cacheHits, 1) }
 func (m *metrics) incCacheMiss() { m.add(&m.cacheMisses, 1) }
 func (m *metrics) incEviction()  { m.add(&m.cacheEvictions, 1) }
 func (m *metrics) incDedup()     { m.add(&m.dedups, 1) }
 func (m *metrics) incRejected()  { m.add(&m.rejected, 1) }
 func (m *metrics) incPanic()     { m.add(&m.panics, 1) }
+
+func (m *metrics) incMutationRejected() { m.add(&m.mutationRejected, 1) }
 
 // snapshotCounters returns the cache/flight counters for tests.
 func (m *metrics) snapshotCounters() (hits, misses, evictions, dedups, rejected uint64) {
@@ -190,6 +209,11 @@ func (m *metrics) writeTo(w io.Writer) {
 	scalar("kgserve_ranking_batch_rows_total", "Query rows scored through batched passes; rows/dispatches is the amortization factor.", m.batchRows)
 	scalar("kgserve_ranking_pruned_cells_total", "IVF cells discarded by the pruned ranking path without visiting their members.", m.prunedCells)
 	scalar("kgserve_ranking_pruned_prescreen_rows_total", "Entity rows evaluated by the int8 prescreen filter inside visited cells.", m.prescreenRows)
+	scalar("kgserve_mutation_batches_total", "Mutation batches applied by POST /mutate.", m.mutationBatches)
+	scalar("kgserve_mutation_adds_total", "Mutation ops that inserted a new triple.", m.mutationAdds)
+	scalar("kgserve_mutation_deletes_total", "Mutation ops that removed a present triple.", m.mutationDeletes)
+	scalar("kgserve_mutation_rejected_total", "Mutation batches refused (sequence gap, validation failure, or size limit).", m.mutationRejected)
+	scalar("kgserve_cache_invalidations_total", "Cache entries dropped because a mutation batch staled them.", m.cacheInvalidations)
 
 	fmt.Fprintln(w, "# HELP kgserve_model_requests_total Requests routed to each model, by weight fingerprint.")
 	fmt.Fprintln(w, "# TYPE kgserve_model_requests_total counter")

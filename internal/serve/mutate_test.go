@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/mutate"
+)
+
+// newMutableServer builds a Server over a deep copy of the shared dataset:
+// mutation tests rewrite the training graph in place, and the package-wide
+// artifacts must stay pristine for every other test.
+func newMutableServer(t testing.TB, mut func(*Config)) *Server {
+	t.Helper()
+	ds, m := testModel(t)
+	clone := &kg.Dataset{
+		Name:  ds.Name,
+		Train: ds.Train.Clone(),
+		Valid: ds.Valid.Clone(),
+		Test:  ds.Test.Clone(),
+	}
+	cfg := Config{Logger: log.New(io.Discard, "", 0)}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := New(clone, m, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// mutationOps builds n delete ops over distinct existing triples of g.
+func mutationOps(g *kg.Graph, n int) []mutate.Op {
+	ts := g.Triples()
+	ops := make([]mutate.Op, 0, n)
+	for i := 0; i < n && i < len(ts); i++ {
+		ops = append(ops, mutate.Op{
+			Kind: mutate.OpDelete,
+			S:    g.Entities.Name(int32(ts[i].S)),
+			R:    g.Relations.Name(int32(ts[i].R)),
+			O:    g.Entities.Name(int32(ts[i].O)),
+		})
+	}
+	return ops
+}
+
+func metricsBody(t *testing.T, h http.Handler) string {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	return rec.Body.String()
+}
+
+func metricValue(t *testing.T, body, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return ""
+}
+
+// TestMutateEndpoint drives the full endpoint contract: a cached /query
+// response for a mutated relation is invalidated while one for an untouched
+// relation survives, the sequence advances, and the mutation counters land
+// in /metrics.
+func TestMutateEndpoint(t *testing.T) {
+	srv := newMutableServer(t, nil)
+	h := srv.Handler()
+	g := srv.ds.Train
+
+	// Find two relations and a subject for each so the two /query entries
+	// are tagged with distinct relations.
+	rels := g.RelationIDs()
+	if len(rels) < 2 {
+		t.Skip("need at least two relations")
+	}
+	victim, bystander := rels[0], rels[1]
+	queryFor := func(r kg.RelationID) map[string]any {
+		tr := g.RelationTriples(r)[0]
+		return map[string]any{
+			"subject":  g.Entities.Name(int32(tr.S)),
+			"relation": g.Relations.Name(int32(r)),
+			"k":        3,
+		}
+	}
+	qVictim, qBystander := queryFor(victim), queryFor(bystander)
+
+	// Prime both cache entries, then confirm they hit.
+	for _, q := range []map[string]any{qVictim, qBystander} {
+		if rec, _ := doReq(t, h, "POST", "/query", q); rec.Code != http.StatusOK {
+			t.Fatalf("prime query: status %d body %s", rec.Code, rec.Body.String())
+		}
+	}
+	for _, q := range []map[string]any{qVictim, qBystander} {
+		rec, _ := doReq(t, h, "POST", "/query", q)
+		if got := rec.Header().Get("X-Cache"); got != "hit" {
+			t.Fatalf("primed query not cached: X-Cache=%q", got)
+		}
+	}
+
+	// Mutate the victim relation only: delete one of its triples.
+	tr := g.RelationTriples(victim)[0]
+	batch := mutate.Batch{Seq: 1, Source: "test", Ops: []mutate.Op{{
+		Kind: mutate.OpDelete,
+		S:    g.Entities.Name(int32(tr.S)),
+		R:    g.Relations.Name(int32(victim)),
+		O:    g.Entities.Name(int32(tr.O)),
+	}}}
+	rec, out := doReq(t, h, "POST", "/mutate", batch)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/mutate status %d body %s", rec.Code, rec.Body.String())
+	}
+	if out["seq"].(float64) != 1 || out["deleted"].(float64) != 1 {
+		t.Fatalf("unexpected mutate response %v", out)
+	}
+	if inv := out["invalidated"].(float64); inv < 1 {
+		t.Fatalf("mutation invalidated %v cache entries, want >= 1", inv)
+	}
+	dirty := out["dirty_relations"].([]any)
+	if len(dirty) != 1 || dirty[0] != g.Relations.Name(int32(victim)) {
+		t.Fatalf("dirty_relations %v", dirty)
+	}
+	if srv.MutationSeq() != 1 {
+		t.Fatalf("MutationSeq %d", srv.MutationSeq())
+	}
+	if g.Contains(tr) {
+		t.Fatal("deleted triple still in graph")
+	}
+
+	// The victim's cache entry is gone; the bystander's survives.
+	if rec, _ := doReq(t, h, "POST", "/query", qVictim); rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("victim query after mutate: X-Cache=%q, want miss", rec.Header().Get("X-Cache"))
+	}
+	if rec, _ := doReq(t, h, "POST", "/query", qBystander); rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("bystander query after mutate: X-Cache=%q, want hit", rec.Header().Get("X-Cache"))
+	}
+
+	body := metricsBody(t, h)
+	for name, want := range map[string]string{
+		"kgserve_mutation_batches_total": "1",
+		"kgserve_mutation_adds_total":    "0",
+		"kgserve_mutation_deletes_total": "1",
+	} {
+		if got := metricValue(t, body, name); got != want {
+			t.Errorf("%s = %s, want %s", name, got, want)
+		}
+	}
+	if got := metricValue(t, body, "kgserve_cache_invalidations_total"); got == "0" {
+		t.Error("kgserve_cache_invalidations_total still 0 after invalidating mutation")
+	}
+}
+
+func TestMutateSequenceGap(t *testing.T) {
+	srv := newMutableServer(t, nil)
+	h := srv.Handler()
+	batch := mutate.Batch{Seq: 7, Ops: mutationOps(srv.ds.Train, 1)}
+	rec, out := doReq(t, h, "POST", "/mutate", batch)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("gap status %d, want 409", rec.Code)
+	}
+	if out["expected_seq"].(float64) != 1 {
+		t.Fatalf("expected_seq %v, want 1", out["expected_seq"])
+	}
+	if got := metricValue(t, metricsBody(t, h), "kgserve_mutation_rejected_total"); got != "1" {
+		t.Fatalf("kgserve_mutation_rejected_total = %s, want 1", got)
+	}
+}
+
+func TestMutateValidationAndLimits(t *testing.T) {
+	srv := newMutableServer(t, func(c *Config) { c.MaxMutationOps = 2 })
+	h := srv.Handler()
+	g := srv.ds.Train
+
+	// Unknown entity -> 400, nothing applied.
+	bad := mutate.Batch{Seq: 1, Ops: []mutate.Op{{
+		Kind: mutate.OpAdd, S: "no-such-entity",
+		R: g.Relations.Name(0), O: g.Entities.Name(0),
+	}}}
+	if rec, _ := doReq(t, h, "POST", "/mutate", bad); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown entity: status %d, want 400", rec.Code)
+	}
+	// Empty batch -> 400.
+	if rec, _ := doReq(t, h, "POST", "/mutate", mutate.Batch{Seq: 1}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", rec.Code)
+	}
+	// Over the op limit -> 413.
+	big := mutate.Batch{Seq: 1, Ops: mutationOps(g, 3)}
+	if rec, _ := doReq(t, h, "POST", "/mutate", big); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d, want 413", rec.Code)
+	}
+	// Malformed JSON -> 400 from the shared decoder.
+	if rec, _ := doReq(t, h, "POST", "/mutate", `{"seq":`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", rec.Code)
+	}
+	if srv.MutationSeq() != 0 {
+		t.Fatalf("rejected batches advanced seq to %d", srv.MutationSeq())
+	}
+}
+
+func TestMutateDisabled(t *testing.T) {
+	srv := newMutableServer(t, func(c *Config) { c.MaxMutationOps = -1 })
+	h := srv.Handler()
+	batch := mutate.Batch{Seq: 1, Ops: mutationOps(srv.ds.Train, 1)}
+	if rec, _ := doReq(t, h, "POST", "/mutate", batch); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("disabled mutations: status %d, want 503", rec.Code)
+	}
+}
+
+// TestMutationLogReplayOnStartup applies batches through one server, then
+// builds a second server over the same pristine dataset and log path and
+// requires it to come up at the same sequence with the same graph.
+func TestMutationLogReplayOnStartup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mutations.wal")
+	srv1 := newMutableServer(t, func(c *Config) { c.MutationLog = path })
+	h := srv1.Handler()
+	for seq, ops := range [][]mutate.Op{mutationOps(srv1.ds.Train, 2), mutationOps(srv1.ds.Train, 1)} {
+		b := mutate.Batch{Seq: int64(seq + 1), Source: "test", Ops: ops}
+		if rec, _ := doReq(t, h, "POST", "/mutate", b); rec.Code != http.StatusOK {
+			t.Fatalf("batch %d: status %d body %s", seq+1, rec.Code, rec.Body.String())
+		}
+	}
+	wantLen := srv1.ds.Train.Len()
+	srv1.Close()
+
+	srv2 := newMutableServer(t, func(c *Config) { c.MutationLog = path })
+	if srv2.MutationSeq() != 2 {
+		t.Fatalf("replayed MutationSeq %d, want 2", srv2.MutationSeq())
+	}
+	if got := srv2.ds.Train.Len(); got != wantLen {
+		t.Fatalf("replayed graph has %d triples, want %d", got, wantLen)
+	}
+	// The replayed server keeps serving: next batch must be seq 3.
+	h2 := srv2.Handler()
+	rec, out := doReq(t, h2, "POST", "/mutate", mutate.Batch{Seq: 1, Ops: mutationOps(srv2.ds.Train, 1)})
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("stale seq after replay: status %d, want 409", rec.Code)
+	}
+	if want := fmt.Sprintf("%v", out["expected_seq"]); want != "3" {
+		t.Fatalf("expected_seq after replay %v, want 3", out["expected_seq"])
+	}
+}

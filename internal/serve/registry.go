@@ -141,10 +141,16 @@ func (s *Server) addModel(m kge.Trainable, mapped *kge.Mapped, format, path stri
 		return existing, nil
 	}
 
+	// The ranker and calibrator read the shared filter union, which mutations
+	// rewrite in place: hold the graph read-lock while they are built so a
+	// hot-loaded model never derives artifacts from a half-applied batch.
+	s.kgMu.RLock()
+	ranker := eval.NewRanker(m, s.all)
+	s.kgMu.RUnlock()
 	sm := &servedModel{
 		model:       m,
 		mapped:      mapped,
-		ranker:      eval.NewRanker(m, s.ds.All()),
+		ranker:      ranker,
 		fingerprint: fp,
 		format:      format,
 		path:        path,
@@ -178,7 +184,10 @@ func (s *Server) addModel(m kge.Trainable, mapped *kge.Mapped, format, path stri
 		return nil, fmt.Errorf("serve: unknown prune mode %q (want off, exact, or approx)", s.cfg.PruneMode)
 	}
 	if s.ds.Valid.Len() > 0 {
-		if cal, err := eval.FitPlatt(m, s.ds.Valid, s.ds.All(), eval.CalibrationOptions{Seed: 1}); err == nil {
+		s.kgMu.RLock()
+		cal, err := eval.FitPlatt(m, s.ds.Valid, s.all, eval.CalibrationOptions{Seed: 1})
+		s.kgMu.RUnlock()
+		if err == nil {
 			sm.calibrator = cal
 		}
 	}

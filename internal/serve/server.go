@@ -37,6 +37,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/kg"
 	"repro/internal/kge"
+	"repro/internal/mutate"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -98,6 +99,14 @@ type Config struct {
 	// index sidecar there (and reuses it across restarts when it still
 	// matches the weights). Empty builds in memory each startup.
 	PruneIndexPath string
+	// MaxMutationOps caps the ops in one POST /mutate batch; larger batches
+	// get 413. Default 1000; negative disables the endpoint (503).
+	MaxMutationOps int
+	// MutationLog, when set, appends every applied mutation batch to an
+	// fsync'd CRC-framed WAL at this path, and replays an existing log at
+	// startup so the base dataset plus the log reconstruct the live graph.
+	// Empty keeps mutations in memory only.
+	MutationLog string
 }
 
 func (c *Config) setDefaults() {
@@ -122,6 +131,9 @@ func (c *Config) setDefaults() {
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
+	if c.MaxMutationOps == 0 {
+		c.MaxMutationOps = 1000
+	}
 }
 
 // discoverFunc matches core.DiscoverFacts; tests substitute instrumented
@@ -133,6 +145,19 @@ type discoverFunc func(ctx context.Context, model kge.Model, g *kg.Graph, strate
 // semaphore, metrics).
 type Server struct {
 	ds *kg.Dataset
+
+	// kgMu guards the mutable graph state: the train split, the shared
+	// filter union `all`, and the mutation state. Every request path that
+	// reads graph structure (membership, side tables, discovery sweeps,
+	// filtered ranking) holds it for read; POST /mutate holds it for write,
+	// so a batch applies atomically with respect to every reader.
+	kgMu sync.RWMutex
+	// all is the maintained train ∪ valid ∪ test union: the filter graph
+	// for filtered ranking and "known" flags. Mutations co-maintain it, so
+	// it is built once instead of merged per request.
+	all *kg.Graph
+	// mut owns mutation sequencing, the mutation log, and dirty tracking.
+	mut *mutate.State
 
 	// The fingerprint-keyed model registry. regMu guards the map and the
 	// default pointer; per-model reference counts live on each servedModel.
@@ -148,6 +173,7 @@ type Server struct {
 	discover    discoverFunc
 	jobs        *jobs.Manager
 	limits      jobLimits
+	mutLog      *mutate.Log
 	closeOnce   sync.Once
 }
 
@@ -165,7 +191,33 @@ func New(ds *kg.Dataset, model kge.Trainable, cfg Config) (*Server, error) {
 		discover:    core.DiscoverFacts,
 	}
 	s.cache = newLRUCache(cfg.CacheSize, s.metrics.incEviction)
+	// Build the mutable graph state before any model registers: rankers and
+	// calibrators are constructed against the shared filter union, and a
+	// mutation log must replay before derived artifacts are built from the
+	// graph. Replay happens via mutate.State, so side tables, the live
+	// undirected projection, and the filter all absorb the logged batches.
+	s.all = kg.Merge(ds.Train, ds.Valid, ds.Test)
+	s.mut = mutate.NewState(ds.Train, s.all, kg.Merge(ds.Valid, ds.Test))
+	if cfg.MutationLog != "" {
+		mlog, batches, err := mutate.OpenLog(cfg.MutationLog, ds.Name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mutation log: %w", err)
+		}
+		if err := s.mut.Replay(batches); err != nil {
+			mlog.Close()
+			return nil, fmt.Errorf("serve: mutation log: %w", err)
+		}
+		if len(batches) > 0 {
+			cfg.Logger.Printf("kgserve: replayed %d mutation batches from %s (seq %d)",
+				len(batches), cfg.MutationLog, s.mut.Seq())
+		}
+		s.mut.AttachLog(mlog)
+		s.mutLog = mlog
+	}
 	if _, err := s.addModel(model, nil, "memory", "", 0, cfg.PruneIndexPath, true); err != nil {
+		if s.mutLog != nil {
+			s.mutLog.Close()
+		}
 		return nil, err
 	}
 	// The forwarding closure reads s.discover at call time, so tests that
@@ -176,6 +228,10 @@ func New(ds *kg.Dataset, model kge.Trainable, cfg Config) (*Server, error) {
 		TTL:          cfg.JobTTL,
 		Dir:          cfg.JobDir,
 		Discover: func(ctx context.Context, m kge.Model, g *kg.Graph, strategy core.Strategy, opts core.Options) (*core.Result, error) {
+			// Async sweeps read the live graph: exclude mutations for the
+			// duration so a job never sees a half-applied batch.
+			s.kgMu.RLock()
+			defer s.kgMu.RUnlock()
 			res, err := s.discover(ctx, m, g, strategy, opts)
 			if err == nil {
 				s.metrics.observeDiscovery(res.Stats)
@@ -262,6 +318,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /rank", s.wrap("/rank", s.handleRank))
 	mux.Handle("POST /query", s.wrap("/query", s.handleQuery))
 	mux.Handle("POST /discover", s.wrap("/discover", s.handleDiscover))
+	mux.Handle("POST /mutate", s.wrap("/mutate", s.handleMutate))
 	mux.Handle("POST /jobs", s.wrap("/jobs", s.handleJobSubmit))
 	mux.Handle("GET /jobs", s.wrap("/jobs", s.handleJobList))
 	mux.Handle("GET /jobs/{id}", s.wrap("/jobs/{id}", s.handleJobStatus))
@@ -303,6 +360,9 @@ func (s *Server) Close() {
 		s.regMu.Unlock()
 		for _, sm := range retired {
 			sm.retire()
+		}
+		if s.mutLog != nil {
+			s.mutLog.Close()
 		}
 	})
 }

@@ -40,6 +40,12 @@ echo "== fleet wire-decoder fuzz smoke =="
 # must always produce well-formed JSON responses.
 go test -run '^$' -fuzz '^FuzzFleetDecode$' -fuzztime 10s ./internal/fleet
 
+echo "== mutation-decoder fuzz smoke =="
+# The /mutate endpoint ingests client-authored batches and the mutation log
+# replays whatever a crash left on disk; both decoders must survive any byte
+# soup without panicking, and rejected batches must never mutate the graph.
+go test -run '^$' -fuzz '^FuzzMutationDecode$' -fuzztime 10s ./internal/mutate
+
 echo "== determinism smoke =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -145,6 +151,44 @@ if ! grep -q "options" "$tmp/walprune.log"; then
 fi
 echo "WAL-compat gate: pruning-off checkpoint resumes clean, -prune=exact resume refused"
 
+echo "== live-mutation incremental gate =="
+# Apply a mutation batch and re-discover incrementally (only the dirtied
+# relations are reswept, the rest splice from the baseline checkpoint), then
+# require the TSV byte-identical to a from-scratch sweep over the mutated
+# graph. The mutated dataset round-trips through a LibKGE-layout dump so the
+# from-scratch run keeps the entity-row alignment the model was trained with.
+go build -o "$tmp/kgmutate" ./cmd/kgmutate
+# entity_frequency is only sensitive to a relation's own triples, so this
+# batch dirties 2 of 6 relations and the other 4 splice from the baseline —
+# the gate proves the splice, not just the resweep.
+mutdisc() {
+  "$tmp/kgdiscover" -data "$1" -model "$tmp/ident-distmult.kge" \
+    -strategy entity_frequency -top_n 200 -max_candidates 200 -seed 3 -limit 0 "${@:2}"
+}
+mutdisc "$tmp/data" -checkpoint "$tmp/mut-base.wal" >/dev/null
+# The batch deletes the first two training triples and re-adds the first
+# with its endpoints swapped — all names already interned.
+awk -F'\t' 'NR<=2 {printf "%s{\"op\":\"delete\",\"s\":\"%s\",\"r\":\"%s\",\"o\":\"%s\"}", sep, $1, $2, $3; sep=","}
+            NR==1 {swap=sprintf("{\"op\":\"add\",\"s\":\"%s\",\"r\":\"%s\",\"o\":\"%s\"}", $3, $2, $1)}
+            END   {printf ",%s", swap}' "$tmp/data/train.txt" \
+  | { printf '{"seq":1,"source":"ci","ops":['; cat; printf ']}'; } >"$tmp/batch.json"
+"$tmp/kgmutate" -data "$tmp/data" -model "$tmp/ident-distmult.kge" \
+  -baseline "$tmp/mut-base.wal" -batch "$tmp/batch.json" \
+  -strategy entity_frequency -top_n 200 -max_candidates 200 -seed 3 -limit 0 \
+  -out "$tmp/mut-inc.tsv" -dump-data "$tmp/mutdata" >"$tmp/mutate.log"
+spliced="$(sed -n 's/.*spliced \([0-9][0-9]*\) from baseline.*/\1/p' "$tmp/mutate.log")"
+if [ -z "$spliced" ] || [ "$spliced" -lt 1 ]; then
+  echo "mutation gate FAILED: expected >=1 relation spliced from the baseline, got '$spliced'" >&2
+  cat "$tmp/mutate.log" >&2
+  exit 1
+fi
+mutdisc "$tmp/mutdata" -out "$tmp/mut-scratch.tsv" >/dev/null
+if ! cmp -s "$tmp/mut-inc.tsv" "$tmp/mut-scratch.tsv"; then
+  echo "mutation gate FAILED: incremental TSV differs from from-scratch sweep on the mutated graph" >&2
+  exit 1
+fi
+echo "live-mutation gate: $(sed -n 's/^mutate: //p' "$tmp/mutate.log"), incremental == from-scratch"
+
 echo "== kgserve end-to-end smoke =="
 # Boot the real server binary on a random port over a tiny dataset, check
 # health, discover the same facts twice (the second answer must come from
@@ -180,13 +224,30 @@ if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
   echo "kgserve smoke FAILED: /metrics cache-hit counter did not increment (hits='$hits')" >&2
   exit 1
 fi
+# Live mutation: the batch (built by the incremental gate above) must apply,
+# invalidate the cached /discover entry, and show up in the mutation
+# counters; replaying the same sequence number must be refused with 409.
+curl -fsS -X POST --data-binary "@$tmp/batch.json" "http://$addr/mutate" >"$tmp/mutate-resp.json"
+invalidated="$(curl -fsS "http://$addr/metrics" | sed -n 's/^kgserve_cache_invalidations_total \([0-9][0-9]*\)$/\1/p')"
+applied="$(curl -fsS "http://$addr/metrics" | sed -n 's/^kgserve_mutation_batches_total \([0-9][0-9]*\)$/\1/p')"
+if [ "$applied" != 1 ] || [ -z "$invalidated" ] || [ "$invalidated" -lt 1 ]; then
+  echo "kgserve smoke FAILED: mutation counters batches='$applied' invalidations='$invalidated' (want 1, >=1)" >&2
+  cat "$tmp/mutate-resp.json" >&2
+  exit 1
+fi
+code_replay="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary "@$tmp/batch.json" "http://$addr/mutate")"
+if [ "$code_replay" != 409 ]; then
+  echo "kgserve smoke FAILED: replayed sequence number gave $code_replay, want 409" >&2
+  exit 1
+fi
 kill -TERM "$serve_pid"
 if ! wait "$serve_pid"; then
   echo "kgserve smoke FAILED: server did not exit cleanly on SIGTERM" >&2
   cat "$tmp/serve.log" >&2
   exit 1
 fi
-echo "kgserve smoke: cache hits $hits, clean SIGTERM shutdown"
+echo "kgserve smoke: cache hits $hits, $invalidated cache invalidation(s) on mutate, replay 409, clean SIGTERM shutdown"
 
 echo "== crash-resume gate =="
 # SIGKILL a checkpointed discovery sweep mid-run, resume it, and require the
