@@ -708,3 +708,93 @@ func BenchmarkHarnessTable1(b *testing.B) {
 func benchName(prefix string, v int) string {
 	return prefix + "=" + strconv.Itoa(v)
 }
+
+// --- Training-throughput benchmark (batched vs scalar kernels) ---
+
+var (
+	trainBenchOnce sync.Once
+	trainBenchDS   *kg.Dataset
+)
+
+// trainingBenchDataset builds the throughput fixture once per process: a
+// 50k-entity synthetic graph (the regime where KvsAll's per-context
+// all-entity sweep dominates training) whose training split is cut down to
+// 512 triples sharing the full dictionaries, so one epoch scores 512
+// contexts against all 50k entities without taking minutes on the scalar
+// path.
+func trainingBenchDataset(b *testing.B) *kg.Dataset {
+	b.Helper()
+	trainBenchOnce.Do(func() {
+		g, err := synth.GenerateGraph(synth.Config{
+			Name: "train-bench", NumEntities: 50000, NumRelations: 12,
+			NumTriples: 50000, NumTypes: 8, EntityZipf: 0.8, RelationZipf: 0.5,
+			ClosureProb: 0.2, NoiseProb: 0.05, Seed: 13,
+		})
+		if err != nil {
+			return
+		}
+		sub := kg.NewGraphWithDicts(g.Entities, g.Relations)
+		for _, t := range g.Triples()[:512] {
+			sub.Add(t)
+		}
+		trainBenchDS = &kg.Dataset{
+			Name:  "train-bench",
+			Train: sub,
+			Valid: kg.NewGraphWithDicts(g.Entities, g.Relations),
+			Test:  kg.NewGraphWithDicts(g.Entities, g.Relations),
+		}
+	})
+	if trainBenchDS == nil {
+		b.Fatal("training bench fixture generation failed")
+	}
+	return trainBenchDS
+}
+
+// BenchmarkTrainingThroughput measures one DistMult training epoch per
+// iteration at |E| = 50k, d = 64, under both objectives and both kernel
+// modes. The batched/scalar pairs quantify the hot-path rewrite: KvsAll as
+// chunk-wide MatMat + fused BCE vs the per-entity loop, and negative
+// sampling as grouped candidate sweeps vs per-triple ScoreWithContext.
+// examples/s counts contexts for KvsAll and positive triples for negsample.
+func BenchmarkTrainingThroughput(b *testing.B) {
+	ds := trainingBenchDataset(b)
+	run := func(b *testing.B, kvsall, scalar bool) {
+		b.Helper()
+		examples := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := kge.New("distmult", kge.Config{
+				NumEntities:  ds.Train.Entities.Len(),
+				NumRelations: ds.Train.Relations.Len(),
+				Dim:          64,
+				Seed:         1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			cfg := train.Config{
+				Epochs: 1, BatchSize: 128, NegSamples: 16, Seed: 7,
+				Optimizer: train.NewSGD(0.05), ScalarKernels: scalar,
+			}
+			var hist train.History
+			if kvsall {
+				hist, err = train.RunKvsAll(context.Background(), m, ds, cfg, 0.1)
+			} else {
+				hist, err = train.Run(context.Background(), m, ds, cfg)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range hist.Epochs {
+				examples += e.Examples
+			}
+		}
+		b.ReportMetric(float64(examples)/b.Elapsed().Seconds(), "examples/s")
+	}
+	b.Run("kvsall/batched", func(b *testing.B) { run(b, true, false) })
+	b.Run("kvsall/scalar", func(b *testing.B) { run(b, true, true) })
+	b.Run("negsample/batched", func(b *testing.B) { run(b, false, false) })
+	b.Run("negsample/scalar", func(b *testing.B) { run(b, false, true) })
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/kg"
@@ -39,6 +40,7 @@ func run(args []string) error {
 		lossName   = fs.String("loss", "", "loss: margin, logistic (default per model)")
 		l2         = fs.Float64("l2", 0, "L2 regularization on touched rows")
 		bernoulli  = fs.Bool("bernoulli", false, "Bernoulli negative sampling (Wang et al. 2014)")
+		batchKern  = fs.Bool("batch_kernels", true, "batched gradient kernels (chunk-wide MatMat forward/backward, fused loss); false forces the scalar path and reproduces pre-batching checkpoints")
 		kvsall     = fs.Bool("kvsall", false, "KvsAll (1-N) training instead of negative sampling")
 		smoothing  = fs.Float64("label_smoothing", 0.1, "KvsAll label smoothing")
 		seed       = fs.Int64("seed", 1, "random seed")
@@ -113,6 +115,7 @@ func run(args []string) error {
 		EvalEvery:          *evalEach,
 		Patience:           *patience,
 		BernoulliNegatives: *bernoulli,
+		ScalarKernels:      !*batchKern,
 	}
 	fmt.Printf("training %s with %d workers (seed %d)\n", *model, effWorkers, *seed)
 	if !*quiet {
@@ -139,6 +142,21 @@ func run(args []string) error {
 	}
 	if hist.Stopped {
 		fmt.Printf("early stopping after %d epochs (best validation %.4f)\n", len(hist.Epochs), hist.Best)
+	}
+	var totalExamples int
+	var totalTrain time.Duration
+	for _, e := range hist.Epochs {
+		totalExamples += e.Examples
+		totalTrain += e.Duration
+	}
+	if totalTrain > 0 {
+		unit := "triples"
+		if *kvsall {
+			unit = "contexts"
+		}
+		fmt.Printf("trained %d epochs, %d examples in %s (%.0f %s/s)\n",
+			len(hist.Epochs), totalExamples, totalTrain.Round(time.Millisecond),
+			float64(totalExamples)/totalTrain.Seconds(), unit)
 	}
 
 	res := eval.Evaluate(eval.NewRanker(m, filter), ds.Test, eval.Options{})

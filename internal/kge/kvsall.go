@@ -51,6 +51,15 @@ func (m *DistMult) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upst
 	rRow := m.rel.M.Row(int(r))
 	q := vecmath.Hadamard(make([]float32, m.cfg.Dim), sRow, rRow)
 	dq := entityBackprop(m.ent, upstream, q, gb)
+	m.chainObjDQ(s, r, dq, gb)
+}
+
+// chainObjDQ chains dq = ∂L/∂q into the subject and relation rows. Shared
+// by the scalar and chunk-batched KvsAll backward passes (the op order here
+// is part of both digest definitions).
+func (m *DistMult) chainObjDQ(s kg.EntityID, r kg.RelationID, dq []float32, gb *GradBuffer) {
+	sRow := m.ent.M.Row(int(s))
+	rRow := m.rel.M.Row(int(r))
 	gs := gb.Row("entity", int(s))
 	gr := gb.Row("relation", int(r))
 	for i := range dq {
@@ -76,6 +85,15 @@ func (m *ComplEx) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstr
 		q[d+i] = sim[i]*rre[i] + sre[i]*rim[i]
 	}
 	dq := entityBackprop(m.ent, upstream, q, gb)
+	m.chainObjDQ(s, r, dq, gb)
+}
+
+// chainObjDQ chains dq into the subject and relation rows with the conjugate
+// chain rule above. Shared by the scalar and chunk-batched backward passes.
+func (m *ComplEx) chainObjDQ(s kg.EntityID, r kg.RelationID, dq []float32, gb *GradBuffer) {
+	d := m.cfg.Dim
+	sre, sim := m.split(m.ent.M.Row(int(s)))
+	rre, rim := m.split(m.rel.M.Row(int(r)))
 	gs := gb.Row("entity", int(s))
 	gr := gb.Row("relation", int(r))
 	for i := 0; i < d; i++ {
@@ -95,6 +113,14 @@ func (m *RESCAL) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstre
 	sRow := m.ent.M.Row(int(s))
 	q := m.wts(make([]float32, d), r, sRow)
 	dq := entityBackprop(m.ent, upstream, q, gb)
+	m.chainObjDQ(s, r, dq, gb)
+}
+
+// chainObjDQ chains dq into the subject row (ds = Wᵣ·dq) and the relation
+// matrix (dWᵣ += s·dqᵀ). Shared by the scalar and chunk-batched backward.
+func (m *RESCAL) chainObjDQ(s kg.EntityID, r kg.RelationID, dq []float32, gb *GradBuffer) {
+	d := m.cfg.Dim
+	sRow := m.ent.M.Row(int(s))
 	gb.Axpy("entity", int(s), 1, m.wo(make([]float32, d), r, dq))
 	gw := gb.Row("relation", int(r))
 	for i := 0; i < d; i++ {
@@ -111,6 +137,15 @@ func (m *HolE) AccumulateGradAllObjects(s kg.EntityID, r kg.RelationID, upstream
 	rRow := m.rel.M.Row(int(r))
 	q := fft.Convolve(make([]float32, d), rRow, sRow)
 	dq := entityBackprop(m.ent, upstream, q, gb)
+	m.chainObjDQ(s, r, dq, gb)
+}
+
+// chainObjDQ chains dq into the subject and relation rows via circular
+// correlations. Shared by the scalar and chunk-batched backward passes.
+func (m *HolE) chainObjDQ(s kg.EntityID, r kg.RelationID, dq []float32, gb *GradBuffer) {
+	d := m.cfg.Dim
+	sRow := m.ent.M.Row(int(s))
+	rRow := m.rel.M.Row(int(r))
 	tmp := make([]float32, d)
 	gb.Axpy("entity", int(s), 1, fft.CircularCorrelation(tmp, rRow, dq))
 	gb.Axpy("relation", int(r), 1, fft.CircularCorrelation(make([]float32, d), sRow, dq))

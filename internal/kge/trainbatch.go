@@ -1,0 +1,279 @@
+package kge
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// Chunk-batched KvsAll training: the trainer hands a whole gradient chunk of
+// (s, r) contexts — relations varying per row, unlike discovery's
+// relation-blocked BatchScorer — to the model at once. The forward pass is
+// one query-matrix × entity-table vecmath.MatMat per chunk, and the backward
+// pass tiles the entity table once across all contexts instead of sweeping
+// it per context.
+//
+// Determinism contract (this defines the batched trainer's digests):
+//
+//   - Forward: row j of ScoreContextsBatch is bit-identical to
+//     ScoreAllObjects(ss[j], rs[j], ...) — MatMat is a row-tiled scheduling
+//     of the same per-row kernel.
+//   - Backward: within one chunk, entity-table row o accumulates its
+//     upstream[j][o]·qⱼ contributions in ascending context order j, and each
+//     context's dqⱼ accumulates Eᵀ·upstreamⱼ in ascending entity order o —
+//     the same orders the scalar path uses. What differs from the scalar
+//     path is phase structure: all entity-row updates of a chunk land before
+//     any subject/relation chain tail runs, so a row that is both an object
+//     and some context's subject sees the two phases in a different
+//     interleaving. Both schedules are fixed functions of the chunk content,
+//     so every worker count produces the same bits; only the scalar-vs-
+//     batched toggle changes digests.
+type KvsAllBatchTrainable interface {
+	KvsAllTrainable
+	// ScoreContextsBatch writes score(ss[j], rs[j], o) for every entity o
+	// into row j of out, which must be len(ss)×NumEntities. Row j is
+	// bit-identical to ScoreAllObjects(ss[j], rs[j], ...).
+	ScoreContextsBatch(ss []kg.EntityID, rs []kg.RelationID, out *vecmath.Matrix)
+	// AccumulateGradAllObjectsBatch accumulates the gradient of all object
+	// scores for every context (ss[j], rs[j]) given the per-context
+	// upstream rows. Equivalent (to float32 reassociation) to calling
+	// AccumulateGradAllObjects per context in ascending j.
+	AccumulateGradAllObjectsBatch(ss []kg.EntityID, rs []kg.RelationID, upstream *vecmath.Matrix, gb *GradBuffer)
+}
+
+func checkCtxBatch(ss []kg.EntityID, rs []kg.RelationID, mat *vecmath.Matrix, n int) {
+	if len(ss) != len(rs) {
+		panic(fmt.Sprintf("kge: context batch has %d subjects, %d relations", len(ss), len(rs)))
+	}
+	checkBatchBuf(mat, len(ss), n)
+}
+
+// entityBackpropBatch is the chunk-wide version of entityBackprop: for every
+// context j it applies ∂L/∂e_o += upstream[j][o]·qⱼ and accumulates
+// dqⱼ = Eᵀ·upstreamⱼ, returning the k×d matrix of dq rows. If biasParam is
+// non-empty, upstream[j][o] is also added to that parameter's row o (ConvE's
+// per-entity bias).
+//
+// The entity table is walked in MatMat's L1 row tiles with contexts inner,
+// so each tile of embedding rows is read once per chunk instead of once per
+// context, and the upstream rows stream sequentially. The gradient lands in
+// GradBuffer.Dense storage — KvsAll upstreams are dense in the entity
+// axis (label smoothing makes every sigmoid residual nonzero), so per-row
+// map inserts would dominate the sweep. Rows with zero upstream are never
+// touched — the optimizer's sparse-row semantics see exactly the scalar
+// path's row set.
+func entityBackpropBatch(ent *Param, upstream, q *vecmath.Matrix, biasParam string, gb *GradBuffer) *vecmath.Matrix {
+	k, n, d := upstream.Rows, upstream.Cols, q.Cols
+	dq := vecmath.NewMatrix(k, d)
+	tile := vecmath.MatMatTileRows(d)
+	dent := gb.Dense("entity")
+	var dbias *DenseGrad
+	if biasParam != "" {
+		dbias = gb.Dense(biasParam)
+	}
+	for lo := 0; lo < n; lo += tile {
+		hi := min(lo+tile, n)
+		for j := 0; j < k; j++ {
+			u := upstream.Row(j)[lo:hi]
+			qj := q.Row(j)
+			dqj := dq.Row(j)
+			for t, g := range u {
+				if g == 0 {
+					continue
+				}
+				o := lo + t
+				vecmath.Axpy(g, qj, dent.Row(o))
+				if dbias != nil {
+					dbias.Row(o)[0] += g
+				}
+				vecmath.Axpy(g, ent.M.Row(o), dqj)
+			}
+		}
+	}
+	return dq
+}
+
+// objQueries builds the k×d matrix of KvsAll query vectors qⱼ = sⱼ∘rⱼ.
+func (m *DistMult) objQueries(ss []kg.EntityID, rs []kg.RelationID) *vecmath.Matrix {
+	q := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	for j := range ss {
+		vecmath.Hadamard(q.Row(j), m.ent.M.Row(int(ss[j])), m.rel.M.Row(int(rs[j])))
+	}
+	return q
+}
+
+// ScoreContextsBatch implements KvsAllBatchTrainable: one E·Qᵀ product for
+// the whole chunk.
+func (m *DistMult) ScoreContextsBatch(ss []kg.EntityID, rs []kg.RelationID, out *vecmath.Matrix) {
+	checkCtxBatch(ss, rs, out, m.cfg.NumEntities)
+	vecmath.MatMat(out, m.ent.M, m.objQueries(ss, rs))
+}
+
+// AccumulateGradAllObjectsBatch implements KvsAllBatchTrainable: one tiled
+// entity sweep for the chunk, then the per-context chain tails in order.
+func (m *DistMult) AccumulateGradAllObjectsBatch(ss []kg.EntityID, rs []kg.RelationID, upstream *vecmath.Matrix, gb *GradBuffer) {
+	checkCtxBatch(ss, rs, upstream, m.cfg.NumEntities)
+	dq := entityBackpropBatch(m.ent, upstream, m.objQueries(ss, rs), "", gb)
+	for j := range ss {
+		m.chainObjDQ(ss[j], rs[j], dq.Row(j), gb)
+	}
+}
+
+// objQueries builds the k×2d query matrix with the conjugate-product rows of
+// AccumulateGradAllObjects.
+func (m *ComplEx) objQueries(ss []kg.EntityID, rs []kg.RelationID) *vecmath.Matrix {
+	d := m.cfg.Dim
+	q := vecmath.NewMatrix(len(ss), 2*d)
+	for j := range ss {
+		sre, sim := m.split(m.ent.M.Row(int(ss[j])))
+		rre, rim := m.split(m.rel.M.Row(int(rs[j])))
+		row := q.Row(j)
+		for i := 0; i < d; i++ {
+			row[i] = sre[i]*rre[i] - sim[i]*rim[i]
+			row[d+i] = sim[i]*rre[i] + sre[i]*rim[i]
+		}
+	}
+	return q
+}
+
+// ScoreContextsBatch implements KvsAllBatchTrainable.
+func (m *ComplEx) ScoreContextsBatch(ss []kg.EntityID, rs []kg.RelationID, out *vecmath.Matrix) {
+	checkCtxBatch(ss, rs, out, m.cfg.NumEntities)
+	vecmath.MatMat(out, m.ent.M, m.objQueries(ss, rs))
+}
+
+// AccumulateGradAllObjectsBatch implements KvsAllBatchTrainable.
+func (m *ComplEx) AccumulateGradAllObjectsBatch(ss []kg.EntityID, rs []kg.RelationID, upstream *vecmath.Matrix, gb *GradBuffer) {
+	checkCtxBatch(ss, rs, upstream, m.cfg.NumEntities)
+	dq := entityBackpropBatch(m.ent, upstream, m.objQueries(ss, rs), "", gb)
+	for j := range ss {
+		m.chainObjDQ(ss[j], rs[j], dq.Row(j), gb)
+	}
+}
+
+// objQueries builds the k×d query matrix qⱼ = W_{rⱼ}ᵀ·sⱼ.
+func (m *RESCAL) objQueries(ss []kg.EntityID, rs []kg.RelationID) *vecmath.Matrix {
+	q := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	for j := range ss {
+		m.wts(q.Row(j), rs[j], m.ent.M.Row(int(ss[j])))
+	}
+	return q
+}
+
+// ScoreContextsBatch implements KvsAllBatchTrainable.
+func (m *RESCAL) ScoreContextsBatch(ss []kg.EntityID, rs []kg.RelationID, out *vecmath.Matrix) {
+	checkCtxBatch(ss, rs, out, m.cfg.NumEntities)
+	vecmath.MatMat(out, m.ent.M, m.objQueries(ss, rs))
+}
+
+// AccumulateGradAllObjectsBatch implements KvsAllBatchTrainable.
+func (m *RESCAL) AccumulateGradAllObjectsBatch(ss []kg.EntityID, rs []kg.RelationID, upstream *vecmath.Matrix, gb *GradBuffer) {
+	checkCtxBatch(ss, rs, upstream, m.cfg.NumEntities)
+	dq := entityBackpropBatch(m.ent, upstream, m.objQueries(ss, rs), "", gb)
+	for j := range ss {
+		m.chainObjDQ(ss[j], rs[j], dq.Row(j), gb)
+	}
+}
+
+// objQueries builds the k×d query matrix qⱼ = rⱼ * sⱼ (circular convolution).
+func (m *HolE) objQueries(ss []kg.EntityID, rs []kg.RelationID) *vecmath.Matrix {
+	q := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	for j := range ss {
+		fft.Convolve(q.Row(j), m.rel.M.Row(int(rs[j])), m.ent.M.Row(int(ss[j])))
+	}
+	return q
+}
+
+// ScoreContextsBatch implements KvsAllBatchTrainable.
+func (m *HolE) ScoreContextsBatch(ss []kg.EntityID, rs []kg.RelationID, out *vecmath.Matrix) {
+	checkCtxBatch(ss, rs, out, m.cfg.NumEntities)
+	vecmath.MatMat(out, m.ent.M, m.objQueries(ss, rs))
+}
+
+// AccumulateGradAllObjectsBatch implements KvsAllBatchTrainable.
+func (m *HolE) AccumulateGradAllObjectsBatch(ss []kg.EntityID, rs []kg.RelationID, upstream *vecmath.Matrix, gb *GradBuffer) {
+	checkCtxBatch(ss, rs, upstream, m.cfg.NumEntities)
+	dq := entityBackpropBatch(m.ent, upstream, m.objQueries(ss, rs), "", gb)
+	for j := range ss {
+		m.chainObjDQ(ss[j], rs[j], dq.Row(j), gb)
+	}
+}
+
+// ScoreContextsBatch implements KvsAllBatchTrainable: k forward passes build
+// the hidden matrix, the output layer is one E·Hᵀ product, biases are added
+// per row in ascending entity order (bit-identical to ScoreAllObjects).
+func (m *ConvE) ScoreContextsBatch(ss []kg.EntityID, rs []kg.RelationID, out *vecmath.Matrix) {
+	checkCtxBatch(ss, rs, out, m.cfg.NumEntities)
+	h := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	for j := range ss {
+		copy(h.Row(j), m.forward(ss[j], rs[j]).hidden)
+	}
+	vecmath.MatMat(out, m.ent.M, h)
+	for j := range ss {
+		row := out.Row(j)
+		for o := range row {
+			row[o] += m.entBias.M.Row(o)[0]
+		}
+	}
+}
+
+// AccumulateGradAllObjectsBatch implements KvsAllBatchTrainable: the k
+// forward contexts are recomputed (as the scalar path does), the entity and
+// bias tables take one tiled sweep, and each context's dh then runs the
+// shared FC/conv backward.
+func (m *ConvE) AccumulateGradAllObjectsBatch(ss []kg.EntityID, rs []kg.RelationID, upstream *vecmath.Matrix, gb *GradBuffer) {
+	checkCtxBatch(ss, rs, upstream, m.cfg.NumEntities)
+	ctxs := make([]*conveCtx, len(ss))
+	h := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	for j := range ss {
+		ctxs[j] = m.forward(ss[j], rs[j])
+		copy(h.Row(j), ctxs[j].hidden)
+	}
+	dh := entityBackpropBatch(m.ent, upstream, h, "entbias", gb)
+	for j := range ss {
+		m.backpropHidden(ss[j], rs[j], ctxs[j], dh.Row(j), gb)
+	}
+}
+
+// ScoreContextsBatch implements KvsAllBatchTrainable for TransE: no MatMat
+// formulation exists for the distance sweep, so the entity table is walked
+// in MatMat's row tiles with every context scoring a tile before it leaves
+// cache, reusing the exact per-pair distance kernels of ScoreAllObjects.
+func (m *TransE) ScoreContextsBatch(ss []kg.EntityID, rs []kg.RelationID, out *vecmath.Matrix) {
+	checkCtxBatch(ss, rs, out, m.cfg.NumEntities)
+	q := vecmath.NewMatrix(len(ss), m.cfg.Dim)
+	for j := range ss {
+		vecmath.Add(q.Row(j), m.ent.M.Row(int(ss[j])), m.rel.M.Row(int(rs[j])))
+	}
+	n := m.cfg.NumEntities
+	tile := vecmath.MatMatTileRows(m.cfg.Dim)
+	for lo := 0; lo < n; lo += tile {
+		hi := min(lo+tile, n)
+		for j := range ss {
+			qj, dst := q.Row(j), out.Row(j)
+			for o := lo; o < hi; o++ {
+				row := m.ent.M.Row(o)
+				var d float32
+				if m.norm == 1 {
+					d = vecmath.L1Distance(qj, row)
+				} else {
+					d = vecmath.SquaredL2Distance(qj, row)
+				}
+				dst[o] = -d
+			}
+		}
+	}
+}
+
+// AccumulateGradAllObjectsBatch implements KvsAllBatchTrainable for TransE
+// as the per-model scalar fallback: the distance gradient has a per-entity
+// sign/residual term with no batched product form, so each context runs the
+// scalar backward (which also keeps it bit-identical to the scalar path).
+func (m *TransE) AccumulateGradAllObjectsBatch(ss []kg.EntityID, rs []kg.RelationID, upstream *vecmath.Matrix, gb *GradBuffer) {
+	checkCtxBatch(ss, rs, upstream, m.cfg.NumEntities)
+	for j := range ss {
+		m.AccumulateGradAllObjects(ss[j], rs[j], upstream.Row(j), gb)
+	}
+}

@@ -1,0 +1,143 @@
+package kge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kg"
+	"repro/internal/vecmath"
+)
+
+// chunkContexts builds a small varied context chunk: repeated subjects and
+// relations, plus a subject that also appears as a scored object, to
+// exercise the phase-split accumulation.
+func chunkContexts() ([]kg.EntityID, []kg.RelationID) {
+	ss := []kg.EntityID{1, 3, 1, 7, 0}
+	rs := []kg.RelationID{2, 0, 1, 2, 2}
+	return ss, rs
+}
+
+func chunkUpstream(rng *rand.Rand, k, n int) *vecmath.Matrix {
+	u := vecmath.NewMatrix(k, n)
+	for i := range u.Data {
+		u.Data[i] = float32(rng.NormFloat64())
+	}
+	// Sprinkle zeros to exercise the untouched-row skip path.
+	for j := 0; j < k; j++ {
+		row := u.Row(j)
+		row[0], row[4+j] = 0, 0
+	}
+	return u
+}
+
+// TestScoreContextsBatchMatchesScoreAllObjects pins the forward half of the
+// batched-digest contract: every row of the chunk forward is bit-identical
+// to the per-context ScoreAllObjects sweep, for every model.
+func TestScoreContextsBatchMatchesScoreAllObjects(t *testing.T) {
+	for _, m := range allModels(t, 8) {
+		bt, ok := m.(KvsAllBatchTrainable)
+		if !ok {
+			t.Fatalf("%s does not implement KvsAllBatchTrainable", m.Name())
+		}
+		t.Run(m.Name(), func(t *testing.T) {
+			ss, rs := chunkContexts()
+			out := vecmath.NewMatrix(len(ss), m.NumEntities())
+			bt.ScoreContextsBatch(ss, rs, out)
+			want := make([]float32, m.NumEntities())
+			for j := range ss {
+				m.ScoreAllObjects(ss[j], rs[j], want)
+				row := out.Row(j)
+				for o := range want {
+					if math.Float32bits(row[o]) != math.Float32bits(want[o]) {
+						t.Fatalf("context %d entity %d: batch %v, scalar %v (not bit-identical)",
+							j, o, row[o], want[o])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKvsAllBatchGradMatchesScalarSequence checks the backward half: the
+// chunk-batched gradient equals the sequence of scalar
+// AccumulateGradAllObjects calls in ascending context order — the same row
+// set exactly (optimizer sparse-row semantics), values to float32
+// reassociation tolerance (the phase split reorders additions into rows that
+// are both objects and chain-tail targets).
+func TestKvsAllBatchGradMatchesScalarSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, m := range allModels(t, 8) {
+		bt := m.(KvsAllBatchTrainable)
+		t.Run(m.Name(), func(t *testing.T) {
+			ss, rs := chunkContexts()
+			upstream := chunkUpstream(rng, len(ss), m.NumEntities())
+
+			batched := NewGradBuffer(m.Params())
+			bt.AccumulateGradAllObjectsBatch(ss, rs, upstream, batched)
+
+			reference := NewGradBuffer(m.Params())
+			for j := range ss {
+				bt.AccumulateGradAllObjects(ss[j], rs[j], upstream.Row(j), reference)
+			}
+
+			if batched.Len() != reference.Len() {
+				t.Errorf("%s: batched touches %d rows, scalar %d", m.Name(), batched.Len(), reference.Len())
+			}
+			var missing int
+			reference.ForEach(func(p *Param, row int, _ []float32) {
+				found := false
+				batched.ForEach(func(bp *Param, brow int, _ []float32) {
+					if bp.Name == p.Name && brow == row {
+						found = true
+					}
+				})
+				if !found {
+					missing++
+					t.Errorf("%s: row %s/%d touched by scalar but not batched", m.Name(), p.Name, row)
+				}
+			})
+			compareGradBuffers(t, m.(Trainable), batched, reference)
+		})
+	}
+}
+
+// TestKvsAllBatchGradSingleContextBitIdentical: with one context there is no
+// cross-context interleaving, so the batched backward must reproduce the
+// scalar gradient exactly, bit for bit, for every model.
+func TestKvsAllBatchGradSingleContextBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, m := range allModels(t, 8) {
+		bt := m.(KvsAllBatchTrainable)
+		t.Run(m.Name(), func(t *testing.T) {
+			upstream := chunkUpstream(rng, 1, m.NumEntities())
+			s, r := kg.EntityID(2), kg.RelationID(1)
+
+			batched := NewGradBuffer(m.Params())
+			bt.AccumulateGradAllObjectsBatch([]kg.EntityID{s}, []kg.RelationID{r}, upstream, batched)
+			reference := NewGradBuffer(m.Params())
+			bt.AccumulateGradAllObjects(s, r, upstream.Row(0), reference)
+
+			if batched.Len() != reference.Len() {
+				t.Fatalf("row count %d vs %d", batched.Len(), reference.Len())
+			}
+			reference.ForEach(func(p *Param, row int, want []float32) {
+				var got []float32
+				batched.ForEach(func(bp *Param, brow int, g []float32) {
+					if bp.Name == p.Name && brow == row {
+						got = g
+					}
+				})
+				if got == nil {
+					t.Fatalf("row %s/%d missing from batched gradient", p.Name, row)
+				}
+				for i := range want {
+					if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+						t.Fatalf("row %s/%d[%d]: batched %v, scalar %v (not bit-identical)",
+							p.Name, row, i, got[i], want[i])
+					}
+				}
+			})
+		})
+	}
+}

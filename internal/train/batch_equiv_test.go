@@ -1,0 +1,96 @@
+package train
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/kge"
+)
+
+// The batched kernels reassociate float32 accumulation and swap the exact
+// float64 transcendentals for the Fast* float32 ones, so batched and scalar
+// digests legitimately differ. These tests pin the toggle to *numerical*
+// equivalence: after a short training run the two parameter sets must agree
+// element-wise within a scale-relative tolerance. SGD + Logistic keeps the
+// comparison well-conditioned — Adam's per-element second-moment rescaling
+// amplifies ulp-level kernel differences, and margin losses flip hinge
+// activations on score ties, neither of which is a kernel bug.
+
+const equivTol = 2e-3
+
+func compareModelParams(t *testing.T, name string, a, b kge.Trainable) {
+	t.Helper()
+	bp := make(map[string][]float32)
+	for _, p := range b.Params().List() {
+		bp[p.Name] = p.M.Data
+	}
+	for _, p := range a.Params().List() {
+		other, ok := bp[p.Name]
+		if !ok || len(other) != len(p.M.Data) {
+			t.Fatalf("%s: parameter %s missing or shape-mismatched in scalar run", name, p.Name)
+		}
+		bad := 0
+		for i, v := range p.M.Data {
+			ref := float64(other[i])
+			if d := math.Abs(float64(v) - ref); d > equivTol*(1+math.Abs(ref)) {
+				if bad < 3 {
+					t.Errorf("%s: %s[%d] batched %v vs scalar %v", name, p.Name, i, v, other[i])
+				}
+				bad++
+			}
+		}
+		if bad > 3 {
+			t.Errorf("%s: %s has %d further mismatches", name, p.Name, bad-3)
+		}
+	}
+}
+
+// TestRunBatchedMatchesScalar trains every model under the sampled objective
+// with kernels on and off and requires tolerance-equal parameters.
+func TestRunBatchedMatchesScalar(t *testing.T) {
+	ds := tinyDataset(t)
+	for _, name := range kge.ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			train := func(scalar bool) kge.Trainable {
+				m := determinismModel(t, name, ds)
+				_, err := Run(context.Background(), m, ds, Config{
+					Epochs: 2, BatchSize: 64, NegSamples: 2, Seed: 17, Workers: 2,
+					Loss: Logistic{}, Optimizer: NewSGD(0.05), ScalarKernels: scalar,
+				})
+				if err != nil {
+					t.Fatalf("train %s (scalar=%v): %v", name, scalar, err)
+				}
+				return m
+			}
+			compareModelParams(t, name, train(false), train(true))
+		})
+	}
+}
+
+// TestRunKvsAllBatchedMatchesScalar is the KvsAll counterpart: the MatMat
+// forward, fused BCE kernel, and chunk-batched backward must land within
+// tolerance of the exact per-entity scalar loop.
+func TestRunKvsAllBatchedMatchesScalar(t *testing.T) {
+	ds := tinyDataset(t)
+	for _, name := range kge.ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			train := func(scalar bool) kge.Trainable {
+				m := determinismModel(t, name, ds)
+				_, err := RunKvsAll(context.Background(), m, ds, Config{
+					Epochs: 2, BatchSize: 32, Seed: 17, Workers: 2,
+					Optimizer: NewSGD(0.05), ScalarKernels: scalar,
+				}, 0.1)
+				if err != nil {
+					t.Fatalf("KvsAll train %s (scalar=%v): %v", name, scalar, err)
+				}
+				return m
+			}
+			compareModelParams(t, name, train(false), train(true))
+		})
+	}
+}

@@ -99,14 +99,17 @@ func RunKvsAll(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Con
 		}
 		epochLoss /= float64(len(contexts))
 
-		stats := EpochStats{Epoch: epoch, Loss: epochLoss, Duration: time.Since(start)}
+		stats := EpochStats{
+			Epoch: epoch, Loss: epochLoss, Duration: time.Since(start),
+			Examples: len(contexts),
+		}
 		if cfg.Validate != nil && epoch%cfg.EvalEvery == 0 {
 			metric := cfg.Validate(model)
 			stats.Validation = metric
 			if metric > best {
 				best = metric
 				sinceBest = 0
-				bestParams = snapshotParams(model)
+				bestParams = snapshotParams(model, bestParams)
 			} else {
 				sinceBest++
 			}
@@ -118,8 +121,9 @@ func RunKvsAll(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Con
 		}
 		hist.Epochs = append(hist.Epochs, stats)
 		if cfg.Progress != nil {
-			cfg.Progress("epoch %3d  loss %.5f  valid %.4f  (%s)",
-				epoch, stats.Loss, stats.Validation, stats.Duration.Round(time.Millisecond))
+			cfg.Progress("epoch %3d  loss %.5f  valid %.4f  (%s, %.0f contexts/s)",
+				epoch, stats.Loss, stats.Validation,
+				stats.Duration.Round(time.Millisecond), stats.Throughput())
 		}
 	}
 	hist.Best = best
@@ -132,11 +136,23 @@ func RunKvsAll(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Con
 // runKvsBatch processes one batch of contexts (chunked across workers, same
 // deterministic reduction as runBatch) and applies a single optimizer step.
 // Returns the summed mean-per-entity BCE loss over the batch.
+//
+// The batched path (ScalarKernels false, model implements
+// KvsAllBatchTrainable) scores a whole chunk as one query-matrix × entity-
+// table MatMat, runs the fused BCE loss/gradient kernel per context row, and
+// backprops the chunk with one AccumulateGradAllObjectsBatch call.
 func runKvsBatch(model kge.KvsAllTrainable, batch []kvsContext, n int, cfg Config, smoothing float32) float64 {
 	invBatch := 1 / float32(len(batch))
 	invN := 1 / float32(n)
+	// Multi-hot targets with label smoothing.
+	posLabel := (1-smoothing)*1 + smoothing*invN
+	negLabel := smoothing * invN
 
-	results := runChunks(len(batch), cfg.Workers, func() func(chunk, lo, hi int) chunkResult {
+	bt, batched := model.(kge.KvsAllBatchTrainable)
+	if cfg.ScalarKernels {
+		batched = false
+	}
+	newWorker := func() func(chunk, lo, hi int) chunkResult {
 		scores := make([]float32, n)
 		upstream := make([]float32, n)
 		return func(chunk, lo, hi int) chunkResult {
@@ -144,18 +160,18 @@ func runKvsBatch(model kge.KvsAllTrainable, batch []kvsContext, n int, cfg Confi
 			var loss float64
 			for _, c := range batch[lo:hi] {
 				model.ScoreAllObjects(c.s, c.r, scores)
-				// Multi-hot targets with label smoothing.
-				posLabel := (1-smoothing)*1 + smoothing*invN
-				negLabel := smoothing * invN
-				isPos := make(map[kg.EntityID]bool, len(c.objects))
-				for _, o := range c.objects {
-					isPos[o] = true
-				}
 				var ctxLoss float64
+				pi := 0
 				for o := 0; o < n; o++ {
 					y := negLabel
-					if isPos[kg.EntityID(o)] {
+					// Two-pointer merge over the sorted object list replaces
+					// the per-context positives map; the float ops and their
+					// order are unchanged, so scalar digests are preserved.
+					if pi < len(c.objects) && c.objects[pi] == kg.EntityID(o) {
 						y = posLabel
+						for pi < len(c.objects) && c.objects[pi] == kg.EntityID(o) {
+							pi++
+						}
 					}
 					p := vecmath.Sigmoid(scores[o])
 					// BCE loss and its gradient w.r.t. the raw score.
@@ -167,7 +183,42 @@ func runKvsBatch(model kge.KvsAllTrainable, batch []kvsContext, n int, cfg Confi
 			}
 			return chunkResult{gb: gb, loss: loss}
 		}
-	})
+	}
+	phase := "kvsall/scalar"
+	if batched {
+		phase = "kvsall/batched"
+		gradScale := invBatch * invN
+		newWorker = func() func(chunk, lo, hi int) chunkResult {
+			scores := vecmath.NewMatrix(gradChunkSize, n)
+			upstream := vecmath.NewMatrix(gradChunkSize, n)
+			ss := make([]kg.EntityID, gradChunkSize)
+			rs := make([]kg.RelationID, gradChunkSize)
+			var positives []int32
+			return func(chunk, lo, hi int) chunkResult {
+				gb := kge.NewGradBuffer(model.Params())
+				k := hi - lo
+				for j, c := range batch[lo:hi] {
+					ss[j], rs[j] = c.s, c.r
+				}
+				scoresK := &vecmath.Matrix{Rows: k, Cols: n, Data: scores.Data[:k*n]}
+				upstreamK := &vecmath.Matrix{Rows: k, Cols: n, Data: upstream.Data[:k*n]}
+				bt.ScoreContextsBatch(ss[:k], rs[:k], scoresK)
+				var loss float64
+				for j, c := range batch[lo:hi] {
+					positives = positives[:0]
+					for _, o := range c.objects {
+						positives = append(positives, int32(o))
+					}
+					ctxLoss := vecmath.BCEFusedGrad(upstreamK.Row(j), scoresK.Row(j),
+						positives, posLabel, negLabel, gradScale)
+					loss += ctxLoss * float64(invN)
+				}
+				bt.AccumulateGradAllObjectsBatch(ss[:k], rs[:k], upstreamK, gb)
+				return chunkResult{gb: gb, loss: loss}
+			}
+		}
+	}
+	results := runChunks(phase, len(batch), cfg.Workers, newWorker)
 
 	merged, totalLoss := mergeChunks(results)
 	if merged == nil {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/kg"
 	"repro/internal/kge"
+	"repro/internal/prof"
 	"repro/internal/vecmath"
 )
 
@@ -43,6 +44,16 @@ type Config struct {
 	// BernoulliNegatives fits per-relation corruption-side probabilities
 	// (Wang et al., 2014) instead of the uniform 50/50 side choice.
 	BernoulliNegatives bool
+	// ScalarKernels forces the pre-batching scalar gradient path: exact
+	// float64 transcendentals and one ScoreWithContext/AccumulateGrad call
+	// per triple (or per entity for KvsAll). The zero value uses the batched
+	// kernels — chunk-wide MatMat forwards, fused float32 loss kernels, and
+	// grouped backward passes. Both paths are bit-deterministic for any
+	// worker count, but they define different digests: flipping this toggle
+	// changes checkpoints, flipping Workers never does. Scalar mode
+	// reproduces the digests of the pre-batching trainer exactly, which is
+	// what makes before/after benchmarks honest.
+	ScalarKernels bool
 
 	// Validate, when non-nil, is called every EvalEvery epochs with the
 	// current model; it returns a metric where higher is better (e.g.
@@ -90,6 +101,18 @@ type EpochStats struct {
 	Loss       float64 // mean loss per positive triple
 	Duration   time.Duration
 	Validation float64 // metric from Config.Validate; NaN-free: 0 when unset
+	// Examples is the number of training examples this epoch processed:
+	// positive triples for the sampled objective, (s, r) contexts for
+	// KvsAll. Examples/Duration is the epoch throughput.
+	Examples int
+}
+
+// Throughput returns the epoch's examples per second (0 for a zero duration).
+func (s EpochStats) Throughput() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Examples) / s.Duration.Seconds()
 }
 
 // History is the per-epoch record of a training run.
@@ -147,7 +170,10 @@ func Run(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Config) (
 		}
 		epochLoss /= float64(len(triples))
 
-		stats := EpochStats{Epoch: epoch, Loss: epochLoss, Duration: time.Since(start)}
+		stats := EpochStats{
+			Epoch: epoch, Loss: epochLoss, Duration: time.Since(start),
+			Examples: len(triples),
+		}
 
 		if cfg.Validate != nil && epoch%cfg.EvalEvery == 0 {
 			metric := cfg.Validate(model)
@@ -155,7 +181,7 @@ func Run(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Config) (
 			if metric > best {
 				best = metric
 				sinceBest = 0
-				bestParams = snapshotParams(model)
+				bestParams = snapshotParams(model, bestParams)
 			} else {
 				sinceBest++
 			}
@@ -167,8 +193,9 @@ func Run(ctx context.Context, model kge.Trainable, ds *kg.Dataset, cfg Config) (
 		}
 		hist.Epochs = append(hist.Epochs, stats)
 		if cfg.Progress != nil {
-			cfg.Progress("epoch %3d  loss %.5f  valid %.4f  (%s)",
-				epoch, stats.Loss, stats.Validation, stats.Duration.Round(time.Millisecond))
+			cfg.Progress("epoch %3d  loss %.5f  valid %.4f  (%s, %.0f triples/s)",
+				epoch, stats.Loss, stats.Validation,
+				stats.Duration.Round(time.Millisecond), stats.Throughput())
 		}
 	}
 	hist.Best = best
@@ -225,7 +252,9 @@ func chunkRNG(src *splitmix64, batchSeed int64, chunk int) *rand.Rand {
 // letting workers reuse scratch buffers across the chunks they pull. Each
 // chunk writes into its own result slot, so callers can reduce the returned
 // slice in a worker-count-independent order.
-func runChunks(n, workers int, newWorker func() func(chunk, lo, hi int) chunkResult) []chunkResult {
+// The phase string labels the workers' CPU-profile samples (prof.Do), so
+// profiles split by hot path, e.g. "negsample/batched" vs "kvsall/scalar".
+func runChunks(phase string, n, workers int, newWorker func() func(chunk, lo, hi int) chunkResult) []chunkResult {
 	chunks := (n + gradChunkSize - 1) / gradChunkSize
 	if workers > chunks {
 		workers = chunks
@@ -240,18 +269,20 @@ func runChunks(n, workers int, newWorker func() func(chunk, lo, hi int) chunkRes
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			do := newWorker()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
+			prof.Do(phase, func() {
+				do := newWorker()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					lo, hi := c*gradChunkSize, (c+1)*gradChunkSize
+					if hi > n {
+						hi = n
+					}
+					results[c] = do(c, lo, hi)
 				}
-				lo, hi := c*gradChunkSize, (c+1)*gradChunkSize
-				if hi > n {
-					hi = n
-				}
-				results[c] = do(c, lo, hi)
-			}
+			})
 		}()
 	}
 	wg.Wait()
@@ -281,9 +312,22 @@ func mergeChunks(results []chunkResult) (*kge.GradBuffer, float64) {
 // runBatch computes gradients for one batch (chunked across workers),
 // applies L2 regularization on touched rows, and takes one optimizer step.
 // It returns the summed loss over the batch.
+//
+// The batched path (ScalarKernels false, model implements GroupTrainable)
+// gathers each positive's candidates into at most two groups — the (s, r)
+// context against [positive object | object-side corruptions] and the (r, o)
+// context against the subject-side corruptions — and scores/backprops each
+// group with one GroupTrainable call. RNG consumption (CorruptN per positive
+// in batch order) and the per-triple loss evaluation are identical to the
+// scalar path, so the negative draws and reported losses match; only the
+// float accumulation order inside a group differs.
 func runBatch(model kge.Trainable, batch []kg.Triple, sampler *NegativeSampler, cfg Config, seed int64) float64 {
 	invBatch := 1 / float32(len(batch))
-	results := runChunks(len(batch), cfg.Workers, func() func(chunk, lo, hi int) chunkResult {
+	gt, grouped := model.(kge.GroupTrainable)
+	if cfg.ScalarKernels {
+		grouped = false
+	}
+	newWorker := func() func(chunk, lo, hi int) chunkResult {
 		negs := make([]kg.Triple, 0, cfg.NegSamples)
 		negScores := make([]float32, cfg.NegSamples)
 		gradNegs := make([]float32, cfg.NegSamples)
@@ -312,7 +356,81 @@ func runBatch(model kge.Trainable, batch []kg.Triple, sampler *NegativeSampler, 
 			}
 			return chunkResult{gb: gb, loss: loss}
 		}
-	})
+	}
+	phase := "negsample/scalar"
+	if grouped {
+		phase = "negsample/batched"
+		newWorker = func() func(chunk, lo, hi int) chunkResult {
+			negs := make([]kg.Triple, 0, cfg.NegSamples)
+			negScores := make([]float32, cfg.NegSamples)
+			gradNegs := make([]float32, cfg.NegSamples)
+			// Group scratch: objs[0] is always the positive object; the slot
+			// arrays map draw order i -> position in its side's group.
+			objs := make([]kg.EntityID, 0, 1+cfg.NegSamples)
+			subjs := make([]kg.EntityID, 0, cfg.NegSamples)
+			objSlot := make([]int, cfg.NegSamples)
+			subjSlot := make([]int, cfg.NegSamples)
+			objScores := make([]float32, 1+cfg.NegSamples)
+			subjScores := make([]float32, cfg.NegSamples)
+			objUp := make([]float32, 1+cfg.NegSamples)
+			subjUp := make([]float32, cfg.NegSamples)
+			// One scratch per side: a group's ctx may alias its scratch, and
+			// both groups' ctxs are alive between scoring and backprop.
+			var objScr, subjScr kge.GroupScratch
+			var src splitmix64
+			return func(chunk, lo, hi int) chunkResult {
+				gb := kge.NewGradBuffer(model.Params())
+				rng := chunkRNG(&src, seed, chunk)
+				var loss float64
+				for _, pos := range batch[lo:hi] {
+					negs = sampler.CorruptN(negs, pos, cfg.NegSamples, rng)
+					objs = append(objs[:0], pos.O)
+					subjs = subjs[:0]
+					for i, n := range negs {
+						// Corrupt guarantees the corrupted entity differs from
+						// the original, so n.O != pos.O iff the object side
+						// was corrupted — unambiguous even for self-loops.
+						if n.O != pos.O {
+							objSlot[i] = len(objs)
+							objs = append(objs, n.O)
+						} else {
+							objSlot[i] = -1
+							subjSlot[i] = len(subjs)
+							subjs = append(subjs, n.S)
+						}
+					}
+					objCtx := gt.ScoreObjectsGroup(pos.S, pos.R, objs, objScores[:len(objs)], &objScr)
+					var subjCtx kge.GradContext
+					if len(subjs) > 0 {
+						subjCtx = gt.ScoreSubjectsGroup(pos.R, pos.O, subjs, subjScores[:len(subjs)], &subjScr)
+					}
+					for i := range negs {
+						if s := objSlot[i]; s >= 0 {
+							negScores[i] = objScores[s]
+						} else {
+							negScores[i] = subjScores[subjSlot[i]]
+						}
+					}
+					var gradPos float32
+					loss += float64(cfg.Loss.Eval(objScores[0], negScores[:len(negs)], &gradPos, gradNegs[:len(negs)]))
+					objUp[0] = gradPos * invBatch
+					for i := range negs {
+						if s := objSlot[i]; s >= 0 {
+							objUp[s] = gradNegs[i] * invBatch
+						} else {
+							subjUp[subjSlot[i]] = gradNegs[i] * invBatch
+						}
+					}
+					gt.AccumulateGradObjectsGroup(pos.S, pos.R, objs, objCtx, objUp[:len(objs)], gb, &objScr)
+					if len(subjs) > 0 {
+						gt.AccumulateGradSubjectsGroup(pos.R, pos.O, subjs, subjCtx, subjUp[:len(subjs)], gb, &subjScr)
+					}
+				}
+				return chunkResult{gb: gb, loss: loss}
+			}
+		}
+	}
+	results := runChunks(phase, len(batch), cfg.Workers, newWorker)
 
 	merged, totalLoss := mergeChunks(results)
 	if merged == nil {
@@ -329,10 +447,19 @@ func runBatch(model kge.Trainable, batch []kg.Triple, sampler *NegativeSampler, 
 	return totalLoss
 }
 
-func snapshotParams(model kge.Trainable) map[string][]float32 {
-	snap := make(map[string][]float32)
+// snapshotParams copies the model's parameters, reusing prev's buffers when
+// shapes match so repeated best-epoch snapshots stop re-allocating the full
+// parameter set (which for a large model dwarfs the epoch's gradient churn).
+func snapshotParams(model kge.Trainable, prev map[string][]float32) map[string][]float32 {
+	snap := prev
+	if snap == nil {
+		snap = make(map[string][]float32)
+	}
 	for _, p := range model.Params().List() {
-		data := make([]float32, len(p.M.Data))
+		data := snap[p.Name]
+		if len(data) != len(p.M.Data) {
+			data = make([]float32, len(p.M.Data))
+		}
 		copy(data, p.M.Data)
 		snap[p.Name] = data
 	}

@@ -11,15 +11,23 @@
 # approx keep set against the dense keep set — recall is 1.0 by construction,
 # see DESIGN.md §10).
 #
-#   scripts/bench.sh [output.json]
+# A second report, results/BENCH_10.json, covers training throughput: the
+# batched-vs-scalar gradient kernels for both objectives (DESIGN.md §14),
+# with examples/s (triples/s for the sampled objective, (s,r) contexts/s for
+# KvsAll) as the headline metric.
+#
+#   scripts/bench.sh [output.json] [training-output.json]
 #
 # BENCHTIME (default 3x) trades precision for CI runtime; use e.g.
-# BENCHTIME=2s locally for tighter numbers.
+# BENCHTIME=2s locally for tighter numbers. TRAIN_BENCHTIME (default 10x)
+# does the same for the training report, whose iterations are whole epochs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 out="${1:-results/BENCH_6.json}"
+trainout="${2:-results/BENCH_10.json}"
+trainbenchtime="${TRAIN_BENCHTIME:-10x}"
 benchtime="${BENCHTIME:-3x}"
 raw="$(mktemp)"
 trap 'rm -rf "$raw"' EXIT
@@ -71,3 +79,38 @@ if [ "$n" -lt 1 ]; then
   exit 1
 fi
 echo "wrote $out ($n benchmarks)"
+
+echo "== training throughput (batched vs scalar kernels) =="
+trainraw="$(mktemp)"
+trap 'rm -rf "$raw" "$trainraw"' EXIT
+go test -run '^$' -bench 'BenchmarkTrainingThroughput' \
+  -benchtime "$trainbenchtime" . | tee "$trainraw"
+
+# Training lines carry a custom metric:
+#   BenchmarkTrainingThroughput/kvsall/batched-8   10   10594 ns/op   94.4 examples/s
+awk -v commit="$commit" -v gomaxprocs="$gomaxprocs" -v cpu="$cpu" '
+  /^Benchmark/ && / ns\/op/ {
+    op = $1
+    sub(/-[0-9]+$/, "", op)
+    ns = 0; exs = 0
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i - 1)
+      if ($i == "examples/s") exs = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "    {\"op\": \"%s\", \"ns_per_op\": %s, \"examples_per_s\": %s}", op, ns, exs
+  }
+  BEGIN {
+    printf "{\n"
+    printf "  \"meta\": {\"commit\": \"%s\", \"gomaxprocs\": %s, \"cpu\": \"%s\"},\n", commit, gomaxprocs, cpu
+    printf "  \"benchmarks\": [\n"
+  }
+  END   { printf "\n  ]\n}\n" }
+' "$trainraw" >"$trainout"
+
+tn="$(grep -c '"op"' "$trainout" || true)"
+if [ "$tn" -lt 4 ]; then
+  echo "bench.sh FAILED: expected 4 training benchmarks, parsed $tn" >&2
+  exit 1
+fi
+echo "wrote $trainout ($tn benchmarks)"

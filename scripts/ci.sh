@@ -55,25 +55,32 @@ go build -o "$tmp/kgtrain" ./cmd/kgtrain
 
 digest_of() { sed -n 's/.*sha256 \([0-9a-f]*\).*/\1/p' "$1"; }
 
-for obj in negsample kvsall; do
-  extra=()
-  if [ "$obj" = kvsall ]; then extra=(-kvsall); fi
-  for w in 1 4; do
-    "$tmp/kgtrain" -data "$tmp/data" -model distmult -dim 16 -epochs 2 \
-      -seed 11 -workers "$w" "${extra[@]+"${extra[@]}"}" -quiet \
-      -out "$tmp/$obj-w$w.kge" >"$tmp/$obj-w$w.log"
+# Both kernel modes must be workers-invariant independently: the batched
+# (default) and scalar trainers define different digests, but within a mode
+# workers=1 and workers=4 must produce byte-identical checkpoints.
+for mode in batched scalar; do
+  bk=true
+  if [ "$mode" = scalar ]; then bk=false; fi
+  for obj in negsample kvsall; do
+    extra=()
+    if [ "$obj" = kvsall ]; then extra=(-kvsall); fi
+    for w in 1 4; do
+      "$tmp/kgtrain" -data "$tmp/data" -model distmult -dim 16 -epochs 2 \
+        -seed 11 -workers "$w" -batch_kernels="$bk" "${extra[@]+"${extra[@]}"}" -quiet \
+        -out "$tmp/$mode-$obj-w$w.kge" >"$tmp/$mode-$obj-w$w.log"
+    done
+    if ! cmp -s "$tmp/$mode-$obj-w1.kge" "$tmp/$mode-$obj-w4.kge"; then
+      echo "determinism smoke FAILED ($mode/$obj): workers=1 and workers=4 checkpoints differ" >&2
+      exit 1
+    fi
+    d1="$(digest_of "$tmp/$mode-$obj-w1.log")"
+    d4="$(digest_of "$tmp/$mode-$obj-w4.log")"
+    if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
+      echo "determinism smoke FAILED ($mode/$obj): digests '$d1' vs '$d4'" >&2
+      exit 1
+    fi
+    echo "$mode/$obj: workers-invariant checkpoint sha256 $d1"
   done
-  if ! cmp -s "$tmp/$obj-w1.kge" "$tmp/$obj-w4.kge"; then
-    echo "determinism smoke FAILED ($obj): workers=1 and workers=4 checkpoints differ" >&2
-    exit 1
-  fi
-  d1="$(digest_of "$tmp/$obj-w1.log")"
-  d4="$(digest_of "$tmp/$obj-w4.log")"
-  if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
-    echo "determinism smoke FAILED ($obj): digests '$d1' vs '$d4'" >&2
-    exit 1
-  fi
-  echo "$obj: workers-invariant checkpoint sha256 $d1"
 done
 
 echo "== batched-ranking byte-identity gate =="
@@ -195,7 +202,7 @@ echo "== kgserve end-to-end smoke =="
 # the response cache, observable via /metrics), then SIGTERM and require a
 # clean graceful exit.
 go build -o "$tmp/kgserve" ./cmd/kgserve
-"$tmp/kgserve" -data "$tmp/data" -model "$tmp/negsample-w1.kge" \
+"$tmp/kgserve" -data "$tmp/data" -model "$tmp/batched-negsample-w1.kge" \
   -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
 serve_pid=$!
 
@@ -388,7 +395,7 @@ echo "== flat-checkpoint serving + hot-swap gate =="
 # (the default), and require 404s for the unloaded fingerprint while the
 # second keeps serving.
 go build -o "$tmp/kgconvert" ./cmd/kgconvert
-"$tmp/kgconvert" -in "$tmp/negsample-w1.kge" -out "$tmp/flat-a.kgf" >"$tmp/conv-a.log"
+"$tmp/kgconvert" -in "$tmp/batched-negsample-w1.kge" -out "$tmp/flat-a.kgf" >"$tmp/conv-a.log"
 fp_a="$(sed -n 's/.*fingerprint \([0-9a-f]*\)$/\1/p' "$tmp/conv-a.log")"
 "$tmp/kgtrain" -data "$tmp/data" -model distmult -dim 16 -epochs 2 \
   -seed 23 -quiet -out "$tmp/model-b.kge" >/dev/null
@@ -409,7 +416,7 @@ scrape_addr() {
   echo "$a"
 }
 
-"$tmp/kgserve" -data "$tmp/data" -model "$tmp/negsample-w1.kge" \
+"$tmp/kgserve" -data "$tmp/data" -model "$tmp/batched-negsample-w1.kge" \
   -addr 127.0.0.1:0 >"$tmp/serve-gob.log" 2>&1 &
 gob_pid=$!
 "$tmp/kgserve" -data "$tmp/data" -model "$tmp/flat-a.kgf" \
